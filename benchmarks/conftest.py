@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) through
+the harness drivers, asserts the paper's qualitative shape, and reports
+the regeneration time via pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(-s shows the regenerated tables next to the timings.)
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def show():
+    """Print a rendered artifact (visible with -s)."""
+
+    def _show(result):
+        print()
+        print(result.render())
+
+    return _show

@@ -1,0 +1,109 @@
+"""Bench: ablations of the paper's design choices (DESIGN.md §6).
+
+Not a paper table — these quantify, on the cycle-accurate simulator and
+the analytic models, what each trick is worth:
+
+* the delayed-counter loop exit (II=1) vs the naive exit (II=2),
+* the adapted enable-gated Mersenne-Twister vs naive gating,
+* breakId depth (overrun iterations vs II headroom),
+* decoupled pipelines vs lockstep partitions at equal lane count.
+"""
+
+import pytest
+
+from repro.core import DecoupledConfig, DecoupledWorkItems, MemoryChannelConfig
+from repro.devices import attempt_profile, attempt_cycles_lockstep, measured_path_rates
+from repro.devices.fixed import expected_max_geometric
+from repro.harness.configs import CONFIGURATIONS
+
+FAST_CHANNEL = MemoryChannelConfig(setup_cycles=8, cycles_per_word=1)
+
+
+def _run(**kernel_overrides):
+    cfg = CONFIGURATIONS["Config2"]
+    region = DecoupledWorkItems(
+        DecoupledConfig(
+            n_work_items=2,
+            kernel=cfg.kernel_config(limit_main=256, **kernel_overrides),
+            burst_words=2,
+            channel=FAST_CHANNEL,
+        )
+    )
+    return region.run()
+
+
+def test_delayed_counter_ablation(benchmark):
+    """The II=1 workaround roughly halves the cycle count."""
+    fast = benchmark(lambda: _run(use_delayed_counter=True))
+    slow = _run(use_delayed_counter=False)
+    speedup = slow.cycles / fast.cycles
+    print(f"\ndelayed-counter workaround speedup: {speedup:.2f}x "
+          f"({slow.cycles} -> {fast.cycles} cycles)")
+    assert speedup > 1.7
+
+
+def test_adapted_mt_ablation(benchmark):
+    """Enable-gated twisters avoid one bubble per suppressed update."""
+    fast = benchmark(lambda: _run(adapted_mt=True))
+    slow = _run(adapted_mt=False)
+    print(f"\nadapted-MT speedup: {slow.cycles / fast.cycles:.2f}x")
+    assert slow.cycles > fast.cycles
+    # functional equivalence: both produce the full quota
+    assert sum(k.outputs_produced for k in slow.kernels) == sum(
+        k.outputs_produced for k in fast.kernels
+    )
+
+
+@pytest.mark.parametrize("break_id", [0, 1, 3])
+def test_break_id_depth(benchmark, break_id):
+    """Deeper delay lines only add bounded overrun iterations."""
+    result = benchmark.pedantic(
+        lambda: _run(break_id=break_id), rounds=1, iterations=1
+    )
+    overrun = sum(k.overrun_iterations for k in result.kernels)
+    quota_iters = sum(k.attempts for k in result.kernels)
+    print(f"\nbreakId={break_id}: overrun {overrun} of {quota_iters} iterations")
+    assert overrun <= (break_id + 1) * 2  # per work-item per sector
+
+
+def test_dependence_pragma_ablation(benchmark):
+    """Listing 4's DEPENDENCE-false pragma keeps TLOOP at II=1; without
+    it, packing halves and the transfer engines throttle the region."""
+    from repro.core import (
+        DataflowRegion, GlobalMemory, MemoryChannel, Stream, TransferEngine,
+    )
+    from repro.core.transfer import DummySource
+
+    def run(dependence_false):
+        memory = GlobalMemory(32)
+        channel = MemoryChannel(FAST_CHANNEL, memory)
+        region = DataflowRegion("t")
+        region.attach_memory_channel(channel)
+        s = Stream("s", depth=8)
+        region.add(DummySource("src", s, 512))
+        region.add(TransferEngine(
+            "eng", 0, s, channel, burst_words=2, bursts_per_sector=16,
+            sectors=1, block_offset=32, dependence_false=dependence_false,
+        ))
+        return region.run().cycles
+
+    fast = benchmark(lambda: run(True))
+    slow = run(False)
+    print(f"\nDEPENDENCE-false pragma speedup: {slow / fast:.2f}x")
+    assert slow > 1.6 * fast
+
+
+def test_decoupled_vs_lockstep(benchmark):
+    """Fig 2c vs Fig 2b at equal lane count, platform constants removed."""
+
+    def per_lane_cost(width):
+        profile = attempt_profile("marsaglia_bray", 1.39)
+        rates = measured_path_rates("marsaglia_bray", 1.39)
+        cyc = attempt_cycles_lockstep("GPU", profile, width)
+        return cyc * expected_max_geometric(rates.combined_accept, width)
+
+    decoupled = benchmark(lambda: per_lane_cost(1))
+    lockstep32 = per_lane_cost(32)
+    print(f"\ndecoupled {decoupled:.0f} vs lockstep-32 {lockstep32:.0f} "
+          f"cycles/output/lane ({lockstep32 / decoupled:.1f}x)")
+    assert lockstep32 > 2.0 * decoupled

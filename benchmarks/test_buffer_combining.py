@@ -1,0 +1,14 @@
+"""Bench: §III-E host-level vs device-level buffer combining."""
+
+from repro.harness import run_buffer_combining
+
+
+def test_buffer_combining(benchmark, show):
+    result = benchmark(run_buffer_combining)
+    show(result)
+    host = next(r for r in result.rows if r[0] == "host_level")
+    dev = next(r for r in result.rows if r[0] == "device_level")
+    assert host[1] == 6 and host[2] == 6  # N buffers, N reads
+    assert dev[1] == 1 and dev[2] == 1  # one buffer, one read
+    assert dev[3] < host[3]  # single read saves (N-1) latencies
+    assert 0 < dev[4] < 0.01  # "<1% loss" device-side penalty

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 2 (lockstep divergence vs decoupled execution).
+
+Fig 2 is the paper's motivating schematic; the lockstep partition
+simulator makes its three panels measurable: static branches keep every
+lane useful, data-dependent branches idle the non-taken lanes (red
+dots), and decoupling removes the idling entirely.
+"""
+
+from repro.harness import run_fig2
+
+
+def test_fig2(benchmark, show):
+    result = benchmark(run_fig2)
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+    static = rows["(a) lockstep, static branches"]
+    divergent = rows["(b) lockstep, divergent"]
+    decoupled = rows["(c) decoupled"]
+    # (a): perfectly efficient
+    assert static[3] == 1.0
+    # (b): divergence idles lanes — efficiency well below the intrinsic
+    # acceptance rate, and extra iterations stack up
+    assert divergent[3] < 0.65
+    assert divergent[2] > 1.4 * static[2]
+    # (c): decoupled lanes recover the intrinsic acceptance rate
+    assert decoupled[3] > divergent[3] + 0.15
+    # and need only their own expected attempts (1/p per output)
+    assert decoupled[2] < divergent[2]

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig 5a (localSize sweep) and Fig 5b (globalSize)."""
+
+import pytest
+
+from repro.harness import run_fig5a, run_fig5b
+from repro.paper import OPTIMAL_LOCAL_SIZES
+
+
+def test_fig5a(benchmark, show):
+    result = benchmark(run_fig5a)
+    show(result)
+    for dev, expected in OPTIMAL_LOCAL_SIZES.items():
+        curve = result.series[dev]
+        assert min(curve, key=curve.get) == expected, dev
+        # U-shape: both edges clearly above the optimum
+        assert curve[1] > 2 * curve[expected]
+        assert curve[256] > curve[expected]
+
+
+def test_fig5a_config3_similar(benchmark, show):
+    """'The remaining configurations yield a similar plot.'"""
+    result = benchmark(run_fig5a, "Config3")
+    show(result)
+    for dev in ("CPU", "GPU", "PHI"):
+        curve = result.series[dev]
+        best = min(curve, key=curve.get)
+        # optimum in the same neighborhood as Config1's
+        assert OPTIMAL_LOCAL_SIZES[dev] / 2 <= best <= OPTIMAL_LOCAL_SIZES[dev] * 2
+
+
+def test_fig5b(benchmark, show):
+    result = benchmark(run_fig5b)
+    show(result)
+    for dev in ("CPU", "GPU", "PHI"):
+        curve = result.series[dev]
+        # falls, then saturates by 65536 ("we confirm the choice")
+        assert curve[1024] > curve[65536]
+        assert curve[262144] == pytest.approx(curve[65536], rel=0.35)

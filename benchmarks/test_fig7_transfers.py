@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig 7 (transfers-only runtime vs burst length).
+
+Includes the embedded reduced-scale cross-check of the closed-form
+channel model against the cycle-accurate simulation.
+"""
+
+from repro.harness import run_fig7
+
+
+def test_fig7(benchmark, show):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    show(result)
+    # larger bursts never hurt; more work-items never hurt
+    for name, curve in result.series.items():
+        xs = sorted(curve)
+        vals = [curve[x] for x in xs]
+        assert all(b <= a for a, b in zip(vals, vals[1:])), name
+    # the 8-WI large-burst floor approaches total_bytes / channel peak
+    assert result.series["8 WI"][4096] < 600  # ms; 2.5 GB at ~5.5 GB/s
+    # single work-item cannot saturate the channel: engine-bound
+    assert result.series["1 WI"][4096] > 3 * result.series["8 WI"][4096]

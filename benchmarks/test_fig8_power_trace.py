@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig 8 (wall-plug power trace, Config1)."""
+
+from repro.harness import run_fig8
+from repro.paper import IDLE_POWER_W
+
+
+def test_fig8(benchmark, show):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    watts = [w for _, w in result.rows]
+    print(f"\n{result.experiment}: {len(watts)} samples, "
+          f"idle≈{min(watts):.0f} W, plateau≈{max(watts):.0f} W")
+    # idle floor before the first marker, active plateau afterwards
+    assert watts[0] < IDLE_POWER_W + 10
+    assert max(watts) > IDLE_POWER_W + 40
+    # trace returns to idle after the last invocation completes
+    assert watts[-1] < IDLE_POWER_W + 12
+
+
+def test_fig8_other_platforms(benchmark):
+    """'The measurements of the remaining configurations yield similar
+    plots' — and the plateau ordering must match the power model."""
+    plateaus = {}
+    for dev in ("CPU", "GPU", "PHI", "FPGA"):
+        res = run_fig8("Config1", device=dev)
+        plateaus[dev] = max(w for _, w in res.rows)
+    benchmark.pedantic(run_fig8, kwargs=dict(device="CPU"), rounds=1, iterations=1)
+    assert plateaus["FPGA"] < min(plateaus[d] for d in ("CPU", "GPU", "PHI"))

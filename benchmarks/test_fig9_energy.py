@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 9 (dynamic energy per kernel invocation)."""
+
+import pytest
+
+from repro.harness import run_fig9
+from repro.paper import FIG9_FPGA_EFFICIENCY
+
+
+def test_fig9(benchmark, show):
+    result = benchmark(run_fig9)
+    show(result)
+    # FPGA most efficient in every configuration
+    for row in result.rows:
+        assert row[4] < min(row[1], row[2], row[3]), row[0]
+    # Config1 headline ratios within 25 % of the paper's 9.5/7.9/4.1
+    row1 = result.rows[0]
+    paper = FIG9_FPGA_EFFICIENCY["Config1"]
+    assert row1[5] == pytest.approx(paper["CPU"], rel=0.25)
+    assert row1[6] == pytest.approx(paper["GPU"], rel=0.25)
+    assert row1[7] == pytest.approx(paper["PHI"], rel=0.25)
+    # the advantage shrinks toward Config4 (paper: down to ~2.2x)
+    last = result.rows[-1]
+    assert last[6] < row1[6] and last[7] < row1[7]

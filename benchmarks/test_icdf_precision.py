@@ -1,0 +1,65 @@
+"""Bench: ICDF table depth vs accuracy vs BRAM (the ref [19] trade).
+
+The bit-level ICDF's whole point (de Schryver et al.) is "arbitrary
+precision": segment count and subsegment bits trade approximation error
+against coefficient-ROM BRAM. This ablation sweeps the table geometry
+and reports worst-case quantile error next to the ROM footprint.
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.rng import IcdfFpga
+
+
+def _max_error(table, n=40_000, seed=3):
+    rng = np.random.default_rng(seed)
+    u = rng.integers(1 << 8, 1 << 31, n, dtype=np.int64).astype(np.uint32)
+    vals, valid = table.evaluate_batch(u)
+    p = u[valid].astype(np.float64) / 2.0**32
+    ref = stats.norm.ppf(p)
+    return float(np.max(np.abs(vals[valid] - ref)))
+
+
+def _rom_words(table):
+    return 2 * (table.segments + 1) * (1 << table.subseg_bits)
+
+
+def test_icdf_precision_sweep(benchmark):
+    rows = []
+    for subseg_bits in (2, 4, 6, 8):
+        table = IcdfFpga(subseg_bits=subseg_bits)
+        rows.append(
+            (subseg_bits, _max_error(table), _rom_words(table))
+        )
+    benchmark.pedantic(
+        lambda: _max_error(IcdfFpga()), rounds=1, iterations=1
+    )
+    print("\nsubseg_bits | max |error| | ROM 32-bit words")
+    for bits, err, words in rows:
+        print(f"{bits:11d} | {err:11.2e} | {words}")
+    errors = [r[1] for r in rows]
+    words = [r[2] for r in rows]
+    # finer subsegments: strictly better accuracy, strictly more ROM
+    assert all(b < a for a, b in zip(errors, errors[1:]))
+    assert all(b > a for a, b in zip(words, words[1:]))
+    # chord interpolation halves the width -> ~4x error reduction
+    assert errors[0] / errors[-1] > 50
+    # the shipped default stays within float32-grade accuracy
+    assert _max_error(IcdfFpga()) < 2e-3
+
+
+def test_icdf_depth_vs_tail_coverage(benchmark):
+    """More segments reach deeper tails (lower rejection), costing ROM."""
+    shallow = IcdfFpga(segments=10)
+    deep = IcdfFpga(segments=28)
+    benchmark.pedantic(lambda: IcdfFpga(segments=18), rounds=1, iterations=1)
+    assert deep.rejection_probability < shallow.rejection_probability / 1e4
+    assert _rom_words(deep) > _rom_words(shallow)
+    # deepest resolvable quantile
+    import math
+
+    z_shallow = abs(stats.norm.ppf(2.0 ** -(shallow.segments + 2)))
+    z_deep = abs(stats.norm.ppf(2.0 ** -(deep.segments + 2)))
+    print(f"\nmax |z|: shallow {z_shallow:.2f} sigma, deep {z_deep:.2f} sigma")
+    assert z_deep > z_shallow + 2.0

@@ -1,0 +1,19 @@
+"""Bench: §IV-E rejection rates across sector variances."""
+
+from repro.harness import run_rejection_rates
+
+
+def test_rejection_rates(benchmark, show):
+    result = benchmark(run_rejection_rates)
+    show(result)
+    mb = {r[1]: r[2] for r in result.rows if r[0] == "marsaglia_bray"}
+    ic = {r[1]: r[2] for r in result.rows if r[0] == "icdf"}
+    # MB path rejects several times more than the ICDF path (the driver
+    # of the Table III crossover)
+    assert mb[1.39] > 3 * ic[1.39]
+    # both rates grow with the sector variance, like the paper's ranges
+    assert mb[0.1] < mb[1.39] < mb[100.0]
+    assert ic[0.1] < ic[1.39] < ic[100.0]
+    # same regime as the paper's absolute numbers
+    assert 0.15 < mb[1.39] < 0.35  # paper: 30.3 %
+    assert ic[1.39] < 0.10  # paper: 7.4 %

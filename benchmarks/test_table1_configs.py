@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (application configurations)."""
+
+from repro.harness import run_table1
+from repro.paper import TABLE1
+
+
+def test_table1(benchmark, show):
+    result = benchmark(run_table1)
+    show(result)
+    assert len(result.rows) == len(TABLE1)
+    for row in result.rows:
+        name = row[0]
+        assert row[2] == TABLE1[name]["exponent"]
+        assert row[4] == TABLE1[name]["states"]

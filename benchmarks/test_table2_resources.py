@@ -1,0 +1,15 @@
+"""Bench: regenerate Table II (FPGA P&R utilization and work-item fit)."""
+
+from repro.harness import run_table2
+from repro.paper import FPGA_WORK_ITEMS, TABLE2_UTILIZATION
+
+
+def test_table2(benchmark, show):
+    result = benchmark(run_table2)
+    show(result)
+    for row in result.rows:
+        config, wi, s, sp, d, dp, b, bp = row
+        assert wi == FPGA_WORK_ITEMS[config]
+        assert abs(s - TABLE2_UTILIZATION[config]["Slice"]) < 1.0
+        assert abs(d - TABLE2_UTILIZATION[config]["DSP"]) < 1.0
+        assert abs(b - TABLE2_UTILIZATION[config]["BRAM"]) < 1.0

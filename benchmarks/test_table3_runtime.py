@@ -1,0 +1,42 @@
+"""Bench: regenerate Table III (runtime matrix, 4 platforms x 6 rows).
+
+Shape requirements carried over from the paper's Section IV-E reading
+of the table: who wins per configuration, by roughly what factor, and
+where the FPGA/PHI crossover falls.
+"""
+
+from repro.harness import run_table3
+
+
+def test_table3(benchmark, show):
+    result = benchmark(run_table3)
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+
+    def ours(setup, dev):
+        idx = {"CPU": 1, "GPU": 3, "PHI": 5, "FPGA": 7}[dev]
+        return rows[setup][idx]
+
+    def paper(setup, dev):
+        idx = {"CPU": 2, "GPU": 4, "PHI": 6, "FPGA": 8}[dev]
+        return rows[setup][idx]
+
+    # every cell within 2x of the published number
+    for setup in rows:
+        for dev in ("CPU", "GPU", "PHI", "FPGA"):
+            ratio = ours(setup, dev) / paper(setup, dev)
+            assert 0.5 < ratio < 2.0, (setup, dev, ratio)
+
+    # Config1: FPGA best, ~5.5x vs CPU
+    assert ours("Config1", "CPU") / ours("Config1", "FPGA") > 4.0
+    assert ours("Config1", "FPGA") < min(
+        ours("Config1", d) for d in ("CPU", "GPU", "PHI")
+    )
+    # Config2: FPGA ~ PHI ("comparable runtime to PHI under Config2")
+    assert 0.5 < ours("Config2", "PHI") / ours("Config2", "FPGA") < 2.0
+    # Config3/4 crossover: PHI overtakes the transfer-bound FPGA
+    assert ours("Config4_cuda", "PHI") < ours("Config4_cuda", "FPGA")
+    # FPGA-style ICDF is slow on CPU/PHI, not on GPU
+    assert ours("Config3_fpga_style", "CPU") > 2.5 * ours("Config3_cuda", "CPU")
+    assert ours("Config3_fpga_style", "PHI") > 3.0 * ours("Config3_cuda", "PHI")
+    assert ours("Config3_fpga_style", "GPU") < 1.3 * ours("Config3_cuda", "GPU")

@@ -1,0 +1,31 @@
+"""Bench: frequency-aware work-item selection (timing-closure model).
+
+Explains Table II's stopping points from the performance side: the
+throughput-optimal pipeline count under the frequency-sag model
+coincides with the paper's P&R-limited 6/6/8/8 — one more pipeline
+would not have paid even if it had routed.
+"""
+
+from repro.paper import FPGA_WORK_ITEMS
+from repro.resources import frequency_aware_work_items
+
+
+def test_frequency_aware_selection(benchmark):
+    results = {}
+    for config in ("Config1", "Config2", "Config3", "Config4"):
+        best, sweep = frequency_aware_work_items(config, hard_cap=16)
+        results[config] = (best, sweep)
+    benchmark.pedantic(
+        lambda: frequency_aware_work_items("Config1"), rounds=1, iterations=1
+    )
+    print("\nconfig   | best N | util   | clock    | paper N")
+    for config, (best, _) in results.items():
+        print(f"{config} | {best.n_work_items:6d} | "
+              f"{best.slice_utilization:.3f} | "
+              f"{best.frequency_hz / 1e6:5.1f} MHz | "
+              f"{FPGA_WORK_ITEMS[config]}")
+        assert best.n_work_items == FPGA_WORK_ITEMS[config]
+        assert best.frequency_hz > 0.9 * 200e6
+        # the first unroutable point exists in the sweep for context
+        _, sweep = results[config]
+        assert any(not p.routable for p in sweep)

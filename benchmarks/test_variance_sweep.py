@@ -1,0 +1,18 @@
+"""Bench: sector-variance sensitivity sweep (extends §IV-E)."""
+
+from repro.harness import run_variance_sweep
+
+
+def test_variance_sweep(benchmark, show):
+    result = benchmark(run_variance_sweep)
+    show(result)
+    r_mb = result.column("r (MB)")
+    r_ic = result.column("r (ICDF)")
+    # both rejection curves rise monotonically with the variance
+    assert all(b > a for a, b in zip(r_mb, r_mb[1:]))
+    assert all(b > a for a, b in zip(r_ic, r_ic[1:]))
+    # MB always rejects more than ICDF at the same variance
+    assert all(m > i for m, i in zip(r_mb, r_ic))
+    # the ICDF configurations stay transfer-bound across the sweep
+    ic_bounds = [row[6] for row in result.rows]
+    assert set(ic_bounds) == {"transfer"}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Design-space exploration: the paper's FPGA design knobs, ablated.
+
+Quantifies (on the cycle-accurate simulator and the analytic models)
+the design choices DESIGN.md calls out:
+
+1. the delayed-counter loop-exit workaround (II=1 vs naive II=2),
+2. the adapted enable-gated Mersenne-Twister (Listing 3) vs a naive
+   gated twister that bubbles the pipeline,
+3. burst length vs effective memory bandwidth (Fig 7's knob),
+4. decoupled pipelines vs a lockstep partition of the same width
+   (the core Fig 2b-vs-2c claim, isolated from platform constants).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import DecoupledConfig, DecoupledWorkItems, MemoryChannelConfig
+from repro.devices import attempt_profile, attempt_cycles_lockstep, measured_path_rates
+from repro.devices.fixed import expected_max_geometric
+from repro.harness.configs import CONFIGURATIONS
+
+
+def run_variant(**kernel_overrides) -> tuple[float, int]:
+    cfg = CONFIGURATIONS["Config2"]
+    region = DecoupledWorkItems(
+        DecoupledConfig(
+            n_work_items=2,
+            kernel=cfg.kernel_config(limit_main=512, **kernel_overrides),
+            burst_words=2,
+            channel=MemoryChannelConfig(setup_cycles=8, cycles_per_word=1),
+        )
+    )
+    result = region.run()
+    return result.runtime_ms, result.cycles
+
+
+def main() -> None:
+    print("=== 1. dynamic loop-exit: delayed counter vs naive ===")
+    fast_ms, fast_cycles = run_variant(use_delayed_counter=True)
+    slow_ms, slow_cycles = run_variant(use_delayed_counter=False)
+    print(f"  II=1 (breakId workaround): {fast_cycles} cycles")
+    print(f"  naive exit (II=2)        : {slow_cycles} cycles "
+          f"({slow_cycles / fast_cycles:.2f}x slower)")
+
+    print("\n=== 2. adapted Mersenne-Twister (Listing 3) vs naive gating ===")
+    _, adapted = run_variant(adapted_mt=True)
+    _, naive = run_variant(adapted_mt=False)
+    print(f"  enable-flag MT           : {adapted} cycles")
+    print(f"  naive gated MT           : {naive} cycles "
+          f"({naive / adapted:.2f}x — one bubble per suppressed update)")
+
+    print("\n=== 3. burst length vs effective bandwidth (Fig 7 knob) ===")
+    channel = MemoryChannelConfig()
+    for words in (1, 4, 16, 64, 256):
+        bw = channel.effective_bandwidth(words, 200e6) / 1e9
+        print(f"  {words * 16:5d} RNs/burst -> {bw:5.2f} GB/s "
+              f"(peak {channel.peak_bandwidth(200e6) / 1e9:.1f})")
+
+    print("\n=== 4. decoupled vs lockstep at equal lane count ===")
+    profile = attempt_profile("marsaglia_bray", 1.39)
+    r = measured_path_rates("marsaglia_bray", 1.39)
+    for width in (1, 8, 16, 32):
+        cyc = attempt_cycles_lockstep("GPU", profile, width)
+        iters = expected_max_geometric(r.combined_accept, width)
+        # one partition iteration costs `cyc` and hands one attempt to
+        # every lane; filling each lane's output takes `iters` iterations
+        per_output = cyc * iters
+        tag = "decoupled (FPGA-like)" if width == 1 else f"lockstep width {width}"
+        print(f"  {tag:24s}: {per_output:7.1f} cycles/output/lane "
+              f"(retry straggler {iters:.2f}x)")
+    print("  -> decoupling removes the width-dependent retry straggler and")
+    print("     the divergent-branch union cost: exactly Fig 2c vs Fig 2b.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline comparison: 4 platforms x 4 configs.
+
+Prints the regenerated Table III (runtime), the Eq (1) sanity check and
+the Fig 9 energy matrix, each next to the paper's published values.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.harness import run_eq1, run_fig9, run_table3
+
+
+def main() -> None:
+    table3 = run_table3()
+    print(table3.render())
+    print()
+
+    # headline speedups, computed from the regenerated table
+    row1 = table3.rows[0]
+    cpu, gpu, phi, fpga = row1[1], row1[3], row1[5], row1[7]
+    print("Config1 FPGA speedups (paper: 5.5x / 3.5x / 1.4x):")
+    print(f"  vs CPU {cpu / fpga:4.1f}x   vs GPU {gpu / fpga:4.1f}x   "
+          f"vs PHI {phi / fpga:4.1f}x")
+    print()
+
+    print(run_eq1().render())
+    print()
+
+    fig9 = run_fig9()
+    print(fig9.render())
+    print()
+    best = all(row[4] < min(row[1], row[2], row[3]) for row in fig9.rows)
+    print(f"FPGA most energy-efficient in every configuration: {best} "
+          "(paper: true, up to 9.5x)")
+
+
+if __name__ == "__main__":
+    main()

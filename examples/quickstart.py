@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: decoupled OpenCL work-items generating gamma RNs.
+
+Builds the paper's Listing 1 pattern — N fully decoupled work-items,
+each a GammaRNG pipeline (Listing 2) paired with a burst Transfer engine
+(Listing 4) over one shared memory channel — runs the cycle-accurate
+simulation, reads the results back from device global memory, and
+validates them against the exact gamma distribution.
+
+Run:  python examples/quickstart.py
+"""
+
+from scipy import stats
+
+from repro.core import DecoupledConfig, DecoupledWorkItems
+from repro.harness.configs import CONFIGURATIONS
+
+
+def main() -> None:
+    # Config2 = Marsaglia-Bray + the small dynamically-created MT521
+    config = CONFIGURATIONS["Config2"]
+    sector_variance = 1.39  # the paper's representative financial sector
+
+    region = DecoupledWorkItems(
+        DecoupledConfig(
+            n_work_items=config.fpga_work_items,
+            kernel=config.kernel_config(
+                limit_main=512, sector_variances=(sector_variance,)
+            ),
+            burst_words=4,  # LTRANSF: 64 RNs per burst
+        )
+    )
+    result = region.run()
+
+    gammas = result.gammas()
+    ks = stats.kstest(gammas, "gamma", args=(1 / sector_variance, 0, sector_variance))
+
+    print("=== decoupled work-items: quickstart ===")
+    print(f"configuration        : {config.name} ({config.transform}, "
+          f"MT exponent {config.exponent})")
+    print(f"work-items (pipelines): {result.config.n_work_items}")
+    print(f"gamma RNs generated  : {gammas.size}")
+    print(f"simulated cycles     : {result.cycles}")
+    print(f"runtime @ 200 MHz    : {result.runtime_ms:.3f} ms")
+    print(f"combined rejection   : {result.rejection_rate:.1%} "
+          "(paper reports 30.3% on its testbed)")
+    print(f"sample mean / var    : {gammas.mean():.4f} / {gammas.var():.4f} "
+          f"(target 1.0 / {sector_variance})")
+    print(f"KS test vs Gamma(1/v, v): stat={ks.statistic:.4f} "
+          f"p={ks.pvalue:.3f} -> {'PASS' if ks.pvalue > 0.01 else 'FAIL'}")
+
+    chan = result.report.process_stats["__memory_channel__"]
+    print(f"memory channel       : {chan.bursts} bursts, "
+          f"utilization {chan.utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

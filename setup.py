@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment has no `wheel` package, so
+editable installs must go through `pip install -e . --no-use-pep517`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Exploiting Decoupled OpenCL Work-Items with
+Data Dependencies on FPGAs: A Case Study" (Varela et al., 2017).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: decoupled work-items as a cycle-level
+    dataflow simulation (streams, pipelined kernel, delayed-counter
+    loop exit, burst transfer engines, shared memory channel).
+``repro.rng``
+    The numerics substrate: Mersenne-Twisters (incl. dynamic creation),
+    Marsaglia-Bray, ICDF transforms, Marsaglia-Tsang gamma.
+``repro.fixedpoint``
+    ap_uint / ap_fixed models and 512-bit word packing.
+``repro.opencl``
+    Host-side OpenCL model: platforms, queues, buffers, NDRange.
+``repro.devices``
+    Timing models of the four accelerators (lockstep divergence for
+    CPU/GPU/Phi, decoupled pipelines + channel for the FPGA).
+``repro.finance``
+    The CreditRisk+ application (Monte-Carlo + analytic baseline).
+``repro.power``
+    Wall-plug power model, virtual multimeter, measurement protocol.
+``repro.resources``
+    FPGA resource model (Table II) and work-item count search.
+``repro.harness``
+    One experiment driver per paper table/figure.
+``repro.paper``
+    The published reference numbers, in one place.
+"""
+
+from repro import paper
+from repro.core import DecoupledConfig, DecoupledWorkItems, GammaKernelConfig
+from repro.harness.configs import CONFIGURATIONS, Configuration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "paper",
+    "DecoupledConfig",
+    "DecoupledWorkItems",
+    "GammaKernelConfig",
+    "CONFIGURATIONS",
+    "Configuration",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro                 # every table and figure
+    python -m repro table3 fig9    # a selection
+    python -m repro --list         # available experiment names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import harness
+
+EXPERIMENTS = {
+    "table1": harness.run_table1,
+    "table2": harness.run_table2,
+    "table3": harness.run_table3,
+    "fig2": harness.run_fig2,
+    "fig3": harness.run_fig3,
+    "variance": harness.run_variance_sweep,
+    "fig5a": harness.run_fig5a,
+    "fig5b": harness.run_fig5b,
+    "fig6": harness.run_fig6,
+    "fig7": harness.run_fig7,
+    "fig8": harness.run_fig8,
+    "fig9": harness.run_fig9,
+    "eq1": harness.run_eq1,
+    "rejection": harness.run_rejection_rates,
+    "buffers": harness.run_buffer_combining,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in selected:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        if name == "fig8":
+            # a 180-row power trace is better summarized than dumped
+            watts = [w for _, w in result.rows]
+            print(f"{result.experiment}: {len(watts)} samples, "
+                  f"idle≈{min(watts):.0f} W, plateau≈{max(watts):.0f} W")
+            print(result.notes)
+        else:
+            print(result.render())
+        print(f"[{name}: {elapsed:.2f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""DATAFLOW region: cycle-level co-simulation of concurrent processes.
+
+Section III-A: "The DATAFLOW pragma [11], [12] schedules the work-items
+in parallel, under the constraint that each variable has a single
+producer-consumer pair."  This module models that region:
+
+* every :class:`~repro.core.stream.Stream` must have exactly one
+  producing and one consuming process (validated at construction, the
+  same check Vivado HLS performs),
+* all processes advance in lock-step, one clock cycle per step, in
+  topological (producer-before-consumer) order so that a token written
+  in cycle *t* can be consumed in cycle *t* by a downstream process —
+  matching the concurrent start semantics of the pragma ("all
+  work-items are triggered at t0", Fig 3),
+* a shared :class:`~repro.core.memory.MemoryChannel` (if attached) is
+  ticked once per cycle after the processes,
+* deadlock (no process progresses, none done) raises with a full state
+  dump instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.process import Process
+from repro.core.stream import Stream
+
+__all__ = ["DataflowRegion", "DataflowError", "DeadlockError", "RegionReport"]
+
+
+class DataflowError(ValueError):
+    """Invalid region wiring (violates the single producer-consumer rule)."""
+
+
+class DeadlockError(RuntimeError):
+    """The region stopped making progress before all processes finished."""
+
+
+@dataclass
+class RegionReport:
+    """Result of a region run."""
+
+    cycles: int
+    process_stats: dict[str, "object"] = field(default_factory=dict)
+    stream_stats: dict[str, dict] = field(default_factory=dict)
+
+    def runtime_seconds(self, frequency_hz: float) -> float:
+        """Convert the cycle count to wall time at a clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.cycles / frequency_hz
+
+    def runtime_ms(self, frequency_hz: float) -> float:
+        return 1e3 * self.runtime_seconds(frequency_hz)
+
+
+class DataflowRegion:
+    """A set of processes wired by streams, executed cycle by cycle."""
+
+    def __init__(self, name: str = "dataflow"):
+        self.name = name
+        self._processes: list[Process] = []
+        self._memory_channels: list = []
+        self._validated = False
+
+    @property
+    def _memory_channel(self):
+        """Back-compat single-channel view (None if absent)."""
+        return self._memory_channels[0] if self._memory_channels else None
+
+    # -- construction ------------------------------------------------------------
+
+    def add(self, process: Process) -> Process:
+        """Register a process; returns it for chaining."""
+        if any(p.name == process.name for p in self._processes):
+            raise DataflowError(f"duplicate process name {process.name!r}")
+        self._processes.append(process)
+        self._validated = False
+        return process
+
+    def attach_memory_channel(self, channel) -> None:
+        """Attach a device-global-memory channel.
+
+        The paper's board exposes one channel; calling this more than
+        once models the "further customizations of the memory
+        controller" extension the conclusion suggests — multiple ports
+        ticked concurrently.
+        """
+        self._memory_channels.append(channel)
+
+    @property
+    def memory_channels(self) -> tuple:
+        return tuple(self._memory_channels)
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        return tuple(self._processes)
+
+    def _validate(self) -> list[Process]:
+        """Enforce single producer/consumer per stream; topo-sort processes."""
+        producers: dict[Stream, Process] = {}
+        consumers: dict[Stream, Process] = {}
+        for proc in self._processes:
+            for s in proc.outputs():
+                if s in producers:
+                    raise DataflowError(
+                        f"stream {s.name!r} has two producers: "
+                        f"{producers[s].name!r} and {proc.name!r}"
+                    )
+                producers[s] = proc
+            for s in proc.inputs():
+                if s in consumers:
+                    raise DataflowError(
+                        f"stream {s.name!r} has two consumers: "
+                        f"{consumers[s].name!r} and {proc.name!r}"
+                    )
+                consumers[s] = proc
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(len(self._processes)))
+        index = {p: i for i, p in enumerate(self._processes)}
+        for s, producer in producers.items():
+            consumer = consumers.get(s)
+            if consumer is not None:
+                graph.add_edge(index[producer], index[consumer])
+        try:
+            order = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise DataflowError(
+                f"region {self.name!r} contains a stream cycle; DATAFLOW "
+                "requires a feed-forward process network"
+            ) from exc
+        self._validated = True
+        return [self._processes[i] for i in order]
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000_000) -> RegionReport:
+        """Run until every process is done; returns the cycle report.
+
+        Raises
+        ------
+        DeadlockError
+            If a full cycle passes with zero progress anywhere.
+        RuntimeError
+            If ``max_cycles`` elapse first (runaway guard).
+        """
+        if not self._processes:
+            raise DataflowError("region has no processes")
+        ordered = self._validate()
+        cycle = 0
+        while True:
+            live = [p for p in ordered if not p.done()]
+            if not live:
+                break
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"region {self.name!r} exceeded {max_cycles} cycles"
+                )
+            progressed = False
+            for proc in live:
+                if proc.tick(cycle):
+                    progressed = True
+            for channel in self._memory_channels:
+                if channel.tick(cycle):
+                    progressed = True
+            if not progressed:
+                raise DeadlockError(self._deadlock_message(cycle))
+            cycle += 1
+        return self._report(cycle)
+
+    def _deadlock_message(self, cycle: int) -> str:
+        lines = [f"deadlock in region {self.name!r} at cycle {cycle}:"]
+        for p in self._processes:
+            if not p.done():
+                lines.append(f"  stuck: {p!r}")
+                for s in p.inputs():
+                    lines.append(f"    in  {s!r}")
+                for s in p.outputs():
+                    lines.append(f"    out {s!r}")
+        for channel in self._memory_channels:
+            lines.append(f"  channel: {channel!r}")
+        return "\n".join(lines)
+
+    def _report(self, cycles: int) -> RegionReport:
+        streams: dict[str, dict] = {}
+        for p in self._processes:
+            for s in (*p.inputs(), *p.outputs()):
+                streams[s.name] = {
+                    "depth": s.depth,
+                    "high_water": s.high_water,
+                    "total_writes": s.total_writes,
+                    "total_reads": s.total_reads,
+                    "write_stalls": s.write_stalls,
+                    "read_stalls": s.read_stalls,
+                }
+        report = RegionReport(
+            cycles=cycles,
+            process_stats={p.name: p.stats for p in self._processes},
+            stream_stats=streams,
+        )
+        if self._memory_channels:
+            report.process_stats["__memory_channel__"] = (
+                self._memory_channels[0].stats
+            )
+            for i, channel in enumerate(self._memory_channels):
+                report.process_stats[f"__memory_channel_{i}__"] = channel.stats
+        return report

@@ -1,0 +1,98 @@
+"""The delayed-counter workaround for dynamic loop-exit conditions.
+
+Section III-B, the paper's second contribution: the exit condition of
+``MAINLOOP`` depends on a ``counter`` incremented inside a divergent
+branch of the *same* iteration.  A pipelined loop at II=1 cannot read
+the just-written counter — the increment has not retired yet — so the
+naive code forces the scheduler to serialize iterations (II > 1).
+
+The workaround: read a *delayed* copy of the counter through a fully
+partitioned shift register (``prevCounter``, updated by ``UpdateRegUI``)
+indexed by ``breakId``::
+
+    MAINLOOP: for (k = 0; (k < limitMax)
+                   && (prevCounter[breakId] < limitMain); ++k) {
+        #pragma HLS pipeline II=1
+        UpdateRegUI(breakId, counter, prevCounter);
+        ...
+        if (ok && counter < limitMain) { out.write(g); ++counter; }
+    }
+
+The exit test then has no same-iteration dependency — it sees the value
+the counter had ``breakId + 1`` iterations ago, which is pipeline-legal.
+The cost: the loop overruns by up to ``breakId + 1`` iterations, so the
+body must self-guard its side effects (``counter < limitMain`` above).
+"The index is kept as low as possible, and here it suffices to use zero
+(meaning a delay of one cycle)."
+"""
+
+from __future__ import annotations
+
+__all__ = ["DelayedCounter", "NAIVE_EXIT_II"]
+
+#: Initiation interval HLS reaches *without* the workaround: the
+#: increment->compare recurrence spans two cycles on the target device,
+#: doubling the per-iteration cost (used by the ablation benchmarks).
+NAIVE_EXIT_II = 2
+
+
+class DelayedCounter:
+    """Counter whose externally visible value lags by ``break_id + 1`` steps.
+
+    Models the paper's ``counter`` / ``prevCounter[breakId]`` pair:
+
+    * :meth:`increment` — the in-pipeline ``++counter``,
+    * :meth:`shift` — the per-iteration ``UpdateRegUI`` register shift,
+    * :attr:`delayed` — the value the loop-exit condition reads,
+    * :attr:`value` — the true architectural value (used by the body's
+      self-guard ``counter < limitMain``).
+    """
+
+    def __init__(self, break_id: int = 0):
+        if break_id < 0:
+            raise ValueError(f"break_id must be >= 0, got {break_id}")
+        self.break_id = break_id
+        self._value = 0
+        # prevCounter[0..break_id]: a completely partitioned shift register
+        self._lanes = [0] * (break_id + 1)
+
+    @property
+    def value(self) -> int:
+        """The true (undelayed) counter value."""
+        return self._value
+
+    @property
+    def delayed(self) -> int:
+        """``prevCounter[breakId]`` — the value break_id + 1 shifts ago."""
+        return self._lanes[self.break_id]
+
+    @property
+    def delay(self) -> int:
+        """Visibility lag in iterations (= break_id + 1)."""
+        return self.break_id + 1
+
+    def shift(self) -> None:
+        """``UpdateRegUI``: push the current value into the delay line.
+
+        Called once at the top of every loop iteration, *before* any
+        increment of the same iteration — so increments become visible
+        to the exit test exactly ``delay`` iterations later.
+        """
+        for i in range(self.break_id, 0, -1):
+            self._lanes[i] = self._lanes[i - 1]
+        self._lanes[0] = self._value
+
+    def increment(self, amount: int = 1) -> None:
+        """The divergent-branch ``++counter``."""
+        self._value += amount
+
+    def reset(self) -> None:
+        """Re-arm for the next sector (SECLOOP re-entry)."""
+        self._value = 0
+        self._lanes = [0] * (self.break_id + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayedCounter(break_id={self.break_id}, value={self._value}, "
+            f"delayed={self.delayed})"
+        )

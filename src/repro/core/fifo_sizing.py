@@ -1,0 +1,90 @@
+"""Stream (FIFO) depth sizing from simulation statistics.
+
+HLS streams default to a depth of 2; undersized FIFOs turn the Fig 3
+overlap into lockstep-like stalling, oversized ones burn BRAM (the
+Table II budget).  This advisor runs a region at candidate depths and
+reports, per stream, the observed high-water mark, the producer's
+backpressure stalls and the runtime — then recommends the smallest
+depth within a chosen slowdown tolerance of the deepest configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.dataflow import RegionReport
+
+__all__ = ["DepthPoint", "SizingResult", "advise_stream_depth"]
+
+
+@dataclass(frozen=True)
+class DepthPoint:
+    """Measurements at one candidate depth."""
+
+    depth: int
+    cycles: int
+    max_high_water: int
+    total_write_stalls: int
+
+
+@dataclass
+class SizingResult:
+    """Sweep outcome plus the recommendation."""
+
+    points: list[DepthPoint]
+    recommended_depth: int
+    tolerance: float
+
+    def table(self) -> list[list]:
+        return [
+            [p.depth, p.cycles, p.max_high_water, p.total_write_stalls]
+            for p in self.points
+        ]
+
+
+def advise_stream_depth(
+    build_region: Callable[[int], "object"],
+    depths: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    tolerance: float = 0.02,
+) -> SizingResult:
+    """Sweep FIFO depths and recommend the smallest adequate one.
+
+    Parameters
+    ----------
+    build_region:
+        ``build_region(depth) -> DataflowRegion`` — must construct a
+        fresh region whose streams all use the candidate depth.
+    depths:
+        Candidate depths, ascending.
+    tolerance:
+        Acceptable runtime slack vs the deepest candidate (e.g. 0.02 =
+        within 2 %).
+    """
+    if not depths or list(depths) != sorted(set(depths)):
+        raise ValueError("depths must be ascending and unique")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    points: list[DepthPoint] = []
+    for depth in depths:
+        region = build_region(depth)
+        report: RegionReport = region.run()
+        highs = [s["high_water"] for s in report.stream_stats.values()]
+        stalls = [s["write_stalls"] for s in report.stream_stats.values()]
+        points.append(
+            DepthPoint(
+                depth=depth,
+                cycles=report.cycles,
+                max_high_water=max(highs, default=0),
+                total_write_stalls=sum(stalls),
+            )
+        )
+    best_cycles = points[-1].cycles
+    recommended = points[-1].depth
+    for p in points:
+        if p.cycles <= best_cycles * (1.0 + tolerance):
+            recommended = p.depth
+            break
+    return SizingResult(
+        points=points, recommended_depth=recommended, tolerance=tolerance
+    )

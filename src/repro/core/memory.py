@@ -1,0 +1,258 @@
+"""Device global memory and the single shared memory channel.
+
+Section III-D/III-E and Fig 3/Fig 7: every work-item owns a ``Transfer``
+block that bursts 512-bit words to device global memory, but "the
+transfers to memory can only occur one at the time on a single memory
+channel".  The channel is therefore the shared resource whose
+arbitration produces the phase-shifting of Fig 3 and whose burst
+economics produce Fig 7.
+
+Timing model of one burst of ``B`` words::
+
+    setup_cycles  +  B * cycles_per_word
+
+``setup_cycles`` covers AXI address-phase/arbitration overhead (paid per
+burst — the reason longer bursts approach peak bandwidth in Fig 7);
+``cycles_per_word`` is the steady-state beat rate of the 512-bit
+interface including DDR inefficiency.  Defaults are calibrated in
+:mod:`repro.harness.calibration` to land near the paper's measured
+3.6-3.9 GB/s out of the 12.8 GB/s theoretical peak (200 MHz x 64 B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fixedpoint import FLOATS_PER_WORD, WORD_BITS, unpack_floats
+
+__all__ = [
+    "MemoryChannelConfig",
+    "BurstRequest",
+    "MemoryChannel",
+    "GlobalMemory",
+]
+
+
+@dataclass(frozen=True)
+class MemoryChannelConfig:
+    """Timing parameters of the device-global-memory channel."""
+
+    # defaults calibrated against §IV-E: at the 64-word default burst the
+    # channel sustains 2.5 GB / 634 ms ≈ 3.94 GB/s, the paper's measured
+    # Config3,4 figure (out of the 12.8 GB/s theoretical peak)
+    setup_cycles: int = 80  # per-burst fixed overhead (address + arb)
+    cycles_per_word: int = 2  # per-512-bit-beat steady-state cost
+    width_bits: int = WORD_BITS
+
+    def __post_init__(self):
+        if self.setup_cycles < 0:
+            raise ValueError("setup_cycles must be >= 0")
+        if self.cycles_per_word < 1:
+            raise ValueError("cycles_per_word must be >= 1")
+
+    def burst_cycles(self, words: int) -> int:
+        """Total channel occupancy of one burst of ``words`` words."""
+        if words <= 0:
+            raise ValueError("burst must contain at least one word")
+        return self.setup_cycles + words * self.cycles_per_word
+
+    def effective_bandwidth(
+        self, burst_words: int, frequency_hz: float
+    ) -> float:
+        """Steady-state bytes/second at a given burst length (Fig 7 y-axis)."""
+        bytes_per_burst = burst_words * self.width_bits // 8
+        seconds = self.burst_cycles(burst_words) / frequency_hz
+        return bytes_per_burst / seconds
+
+    def peak_bandwidth(self, frequency_hz: float) -> float:
+        """Zero-overhead bound: width * f / cycles_per_word."""
+        return (self.width_bits // 8) * frequency_hz / self.cycles_per_word
+
+
+@dataclass
+class BurstRequest:
+    """One in-flight burst write (the Transfer block's ``memcpy``)."""
+
+    owner: str  # requesting work-item / engine name
+    address: int  # destination offset in 512-bit words
+    words: list  # payload (ints or ApUInt(512))
+    submitted_cycle: int = 0
+    started_cycle: int | None = None
+    completed_cycle: int | None = None
+    _remaining: int = field(default=0, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_cycle is not None
+
+    @property
+    def queue_latency(self) -> int | None:
+        """Cycles spent waiting for the channel grant."""
+        if self.started_cycle is None:
+            return None
+        return self.started_cycle - self.submitted_cycle
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel accounting for a region run."""
+
+    bursts: int = 0
+    words: int = 0
+    busy_cycles: int = 0
+    idle_cycles: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy_cycles + self.idle_cycles
+        return self.busy_cycles / total if total else 0.0
+
+
+class MemoryChannel:
+    """Single-port burst-write channel with FIFO arbitration.
+
+    Transfer engines :meth:`submit` bursts and poll ``request.done``.
+    The owning :class:`~repro.core.dataflow.DataflowRegion` ticks the
+    channel once per cycle, after the processes.
+    """
+
+    def __init__(
+        self,
+        config: MemoryChannelConfig | None = None,
+        memory: "GlobalMemory | None" = None,
+    ):
+        self.config = config or MemoryChannelConfig()
+        self.memory = memory
+        self._queue: deque[BurstRequest] = deque()
+        self._current: BurstRequest | None = None
+        self.stats = ChannelStats()
+
+    def submit(self, request: BurstRequest) -> BurstRequest:
+        """Enqueue a burst; it is granted in FIFO order."""
+        self._queue.append(request)
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, len(self._queue) + (1 if self._current else 0)
+        )
+        return request
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None or bool(self._queue)
+
+    def tick(self, cycle: int) -> bool:
+        """Advance one cycle; returns True when the channel was busy."""
+        if self._current is None:
+            if not self._queue:
+                self.stats.idle_cycles += 1
+                return False
+            self._current = self._queue.popleft()
+            self._current.started_cycle = cycle
+            self._current._remaining = self.config.burst_cycles(
+                len(self._current.words)
+            )
+        self._current._remaining -= 1
+        self.stats.busy_cycles += 1
+        if self._current._remaining <= 0:
+            req = self._current
+            req.completed_cycle = cycle
+            if self.memory is not None:
+                self.memory.write_burst(req.address, req.words)
+            self.stats.bursts += 1
+            self.stats.words += len(req.words)
+            self._current = None
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryChannel(queue={len(self._queue)}, "
+            f"current={self._current and self._current.owner})"
+        )
+
+
+class GlobalMemory:
+    """Device global memory addressed in 512-bit words.
+
+    Backing store is a flat ``uint32`` numpy array (16 lanes per word),
+    so readbacks are views, not copies.  Models the single device-level
+    buffer of Section III-E-2: every work-item writes into the same
+    allocation at an offset derived from its work-item id.
+    """
+
+    LANES = FLOATS_PER_WORD
+
+    def __init__(self, size_words: int):
+        if size_words < 1:
+            raise ValueError("memory must hold at least one word")
+        self.size_words = size_words
+        self._data = np.zeros(size_words * self.LANES, dtype=np.uint32)
+        self.words_written = 0
+
+    def write_word(self, address: int, word) -> None:
+        """Store one 512-bit word at a word-aligned address."""
+        if not 0 <= address < self.size_words:
+            raise IndexError(
+                f"word address {address} out of range [0, {self.size_words})"
+            )
+        raw = int(word)
+        base = address * self.LANES
+        for lane in range(self.LANES):
+            self._data[base + lane] = (raw >> (32 * lane)) & 0xFFFFFFFF
+        self.words_written += 1
+
+    def write_burst(self, address: int, words) -> None:
+        """Store consecutive words starting at ``address`` (the memcpy)."""
+        for i, word in enumerate(words):
+            self.write_word(address + i, word)
+
+    def read_floats(self, address_words: int, count: int) -> np.ndarray:
+        """Read back ``count`` float32 values starting at a word address."""
+        base = address_words * self.LANES
+        if base + count > self._data.size:
+            raise IndexError("read beyond end of device memory")
+        return self._data[base : base + count].view(np.float32).copy()
+
+    def as_float_array(self) -> np.ndarray:
+        """Whole memory viewed as float32 (host-side readback)."""
+        return self._data.view(np.float32).copy()
+
+
+# ---------------------------------------------------------------------------
+# analytic fast-forward model (validated against the cycle simulation)
+# ---------------------------------------------------------------------------
+
+
+def transfer_only_cycles(
+    values_per_item: int,
+    n_work_items: int,
+    burst_words: int,
+    config: MemoryChannelConfig | None = None,
+    pack_cycles_per_value: int = 1,
+) -> int:
+    """Closed-form cycle count of the transfers-only experiment (Fig 7).
+
+    Each engine packs ``burst_words * 16`` values per burst (one value
+    per cycle), then issues the burst.  In steady state the runtime is
+    the larger of the two bounds:
+
+    * channel bound — total bursts serialized on the single channel,
+    * engine bound — one engine's pack+burst round trips (bursts from
+      the other engines hide inside the pack phase).
+
+    The form is exact when either bound dominates by ~2x; in the mixed
+    regime the FIFO stagger between engines adds a small extra cost only
+    the cycle simulation captures (tested in tests/core/test_memory.py).
+    """
+    cfg = config or MemoryChannelConfig()
+    values_per_burst = burst_words * FLOATS_PER_WORD
+    bursts_per_item = -(-values_per_item // values_per_burst)
+    burst_cost = cfg.burst_cycles(burst_words)
+    pack_cost = values_per_burst * pack_cycles_per_value
+    channel_bound = n_work_items * bursts_per_item * burst_cost
+    engine_bound = bursts_per_item * (pack_cost + burst_cost)
+    # the first pack of every engine cannot overlap anything
+    warmup = pack_cost
+    return max(channel_bound + warmup, engine_bound)

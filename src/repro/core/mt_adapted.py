@@ -1,0 +1,70 @@
+"""Adapted Mersenne-Twister blocks for the pipelined kernel (Listing 3).
+
+The paper's third trick: the three Mersenne-Twisters inside the gamma
+pipeline must "stop" whenever an upstream rejection would otherwise
+discard one of their outputs — but a *conditionally executed* state
+update inside an II=1 pipeline creates a loop-carried dependency the
+scheduler cannot hide.  The adapted implementation instead lets the
+block "run continuously, using an external flag to enable the internal
+state update": the output is computed every cycle, and the state index
+advances only when the flag is set.
+
+Two models are provided:
+
+* :class:`AdaptedMT` — the paper's design; gating is free (II stays 1).
+* :class:`NaiveGatedMT` — the unmodified block, for the ablation
+  benchmark: every *disabled* step forces a pipeline bubble, so the
+  effective cost of a gated step is ``1 + bubble_cycles``.
+"""
+
+from __future__ import annotations
+
+from repro.rng.mersenne import MersenneTwister, MTParams, MT19937_PARAMS
+
+__all__ = ["AdaptedMT", "NaiveGatedMT"]
+
+
+class AdaptedMT:
+    """Enable-gated Mersenne-Twister with II=1 regardless of the gate.
+
+    Thin stateful façade over :class:`~repro.rng.mersenne.MersenneTwister`
+    that also counts enabled/held steps for the throughput reports.
+    """
+
+    #: extra pipeline cycles a gated (enable=False) step costs — none,
+    #: which is the whole point of the Listing 3 modification
+    bubble_cycles = 0
+
+    def __init__(self, params: MTParams = MT19937_PARAMS, seed: int = 5489):
+        self._mt = MersenneTwister(params, seed=seed)
+        self.steps = 0
+        self.held = 0
+
+    def __call__(self, enable: bool) -> int:
+        """One pipeline step: always outputs; advances state iff enabled."""
+        self.steps += 1
+        if not enable:
+            self.held += 1
+        return self._mt.next_u32(enable=enable)
+
+    @property
+    def params(self) -> MTParams:
+        return self._mt.params
+
+    @property
+    def hold_fraction(self) -> float:
+        """Fraction of steps with the state update suppressed."""
+        return self.held / self.steps if self.steps else 0.0
+
+
+class NaiveGatedMT(AdaptedMT):
+    """Unmodified Mersenne-Twister gated by conditional execution.
+
+    Functionally identical output stream, but each *disabled* step models
+    the pipeline flush/bubble the conditional state write provokes; the
+    kernel adds :attr:`bubble_cycles` stall cycles whenever it gates this
+    block.  Used only by the ablation bench — the paper's design never
+    pays this.
+    """
+
+    bubble_cycles = 1

@@ -1,0 +1,97 @@
+"""Mapping NDRange kernels onto FPGA compute units (Section II-A/III-A).
+
+The paper develops its approach "for the general case of .c kernels
+launched as a Task, with guidelines on how to adapt it to the .cl
+NDRange case":
+
+* SDAccel maps each *work-group* of an NDRange kernel to one *compute
+  unit*; inside a CU the work-items run down a single pipeline as
+  nested for-loops;
+* spatial parallelism comes from instantiating several CUs;
+* the manual Task instantiation limits ``localSize`` to 1, while the
+  NDRange form has flexible work-group granularity — "in either case,
+  what directly affects the overall runtime is the number of pipelines
+  (work-groups) instantiated in parallel".
+
+This module is that guidance as executable code: it schedules an
+NDRange across a given number of compute-unit pipelines and shows the
+runtime equivalence of the two formulations at equal pipeline counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opencl.ndrange import NDRange
+
+__all__ = ["NDRangeMapping", "map_ndrange", "equivalent_task_form"]
+
+
+@dataclass(frozen=True)
+class NDRangeMapping:
+    """Static schedule of an NDRange over N compute-unit pipelines."""
+
+    ndrange: NDRange
+    compute_units: int
+    ii: int = 1
+    pipeline_depth: int = 32  # fill/flush latency per work-group
+    #: Task-form fusion (§III-A): the manually instantiated work-items
+    #: run one long fused loop per pipeline, paying the fill/flush
+    #: latency once instead of once per work-group.
+    fused: bool = False
+
+    def __post_init__(self):
+        if self.compute_units < 1:
+            raise ValueError("need at least one compute unit")
+        if self.ii < 1:
+            raise ValueError("II must be >= 1")
+
+    @property
+    def groups_per_cu(self) -> int:
+        """Work-groups each CU executes back to back (ceil-balanced)."""
+        return -(-self.ndrange.num_work_groups // self.compute_units)
+
+    def assignments(self) -> dict[int, list[tuple[int, ...]]]:
+        """Round-robin work-group → CU assignment."""
+        out: dict[int, list[tuple[int, ...]]] = {
+            cu: [] for cu in range(self.compute_units)
+        }
+        for i, group in enumerate(self.ndrange.work_groups()):
+            out[i % self.compute_units].append(group)
+        return out
+
+    def cycles(self, iterations_per_item: int) -> int:
+        """Total cycles: the busiest CU runs its groups sequentially,
+        each group pipelining ``localSize * iterations`` items at II;
+        in fused (Task) form the fill/flush is paid once per CU."""
+        if iterations_per_item < 1:
+            raise ValueError("iterations_per_item must be >= 1")
+        body = self.ndrange.work_group_size * iterations_per_item * self.ii
+        if self.fused:
+            return self.groups_per_cu * body + self.pipeline_depth
+        return self.groups_per_cu * (body + self.pipeline_depth)
+
+
+def map_ndrange(
+    ndrange: NDRange, compute_units: int, ii: int = 1
+) -> NDRangeMapping:
+    """Convenience constructor mirroring the SDAccel mapping rule."""
+    return NDRangeMapping(ndrange=ndrange, compute_units=compute_units, ii=ii)
+
+
+def equivalent_task_form(mapping: NDRangeMapping) -> NDRangeMapping:
+    """The manually-instantiated Task equivalent (Section III-A).
+
+    localSize collapses to 1 and every pipeline becomes one explicit
+    work-item ("here we are directly instantiating each work-item in
+    parallel inside a single Task"); the number of pipelines — the
+    quantity that "directly affects the overall runtime" — is kept.
+    """
+    nd = mapping.ndrange
+    return NDRangeMapping(
+        ndrange=NDRange(nd.total_work_items, 1),
+        compute_units=mapping.compute_units,
+        ii=mapping.ii,
+        pipeline_depth=mapping.pipeline_depth,
+        fused=True,
+    )

@@ -1,0 +1,76 @@
+"""Process abstraction for the cycle-level dataflow co-simulation.
+
+Each HLS dataflow function (``GammaRNG``, ``Transfer``, …) becomes a
+:class:`Process`: an object advanced one clock cycle at a time by the
+:class:`~repro.core.dataflow.DataflowRegion`.  A process reports whether
+it made *progress* in a cycle — the region uses this for deadlock
+detection — and whether it has *finished* its program.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.stream import Stream
+
+__all__ = ["Process", "ProcessStats"]
+
+
+@dataclass
+class ProcessStats:
+    """Per-process cycle accounting, reported by every simulation run."""
+
+    cycles: int = 0  # cycles the process was live (not yet done)
+    active_cycles: int = 0  # cycles with real work (an iteration issued)
+    stall_cycles: int = 0  # cycles spent blocked on a stream or the bus
+    iterations: int = 0  # loop-body executions issued
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of live cycles doing useful work."""
+        return self.active_cycles / self.cycles if self.cycles else 0.0
+
+
+class Process(abc.ABC):
+    """One dataflow function instance in the simulated region.
+
+    Subclasses implement :meth:`tick`, which advances exactly one clock
+    cycle and returns True when the cycle did useful work (False = the
+    process stalled).  ``tick`` is never called again once :meth:`done`
+    returns True.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = ProcessStats()
+
+    @abc.abstractmethod
+    def tick(self, cycle: int) -> bool:
+        """Advance one clock cycle; return True if progress was made."""
+
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True once the process has completed its program."""
+
+    def inputs(self) -> tuple[Stream, ...]:
+        """Streams this process consumes (for dataflow ordering checks)."""
+        return ()
+
+    def outputs(self) -> tuple[Stream, ...]:
+        """Streams this process produces."""
+        return ()
+
+    def _account(self, progressed: bool) -> bool:
+        """Bookkeeping helper subclasses call at the end of tick()."""
+        self.stats.cycles += 1
+        if progressed:
+            self.stats.active_cycles += 1
+        else:
+            self.stats.stall_cycles += 1
+        return progressed
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "running"
+        return f"{type(self).__name__}({self.name!r}, {state})"

@@ -1,0 +1,151 @@
+"""Software model of the Vivado HLS ``hls::stream`` interface.
+
+Section III-A: "we need the hls::stream interface [12] to introduce
+blocking communication between generation (GammaRNG) and the
+corresponding Transfer function".  An ``hls::stream`` is a bounded FIFO
+with blocking semantics on both ends: a full stream back-pressures the
+producer pipeline, an empty one stalls the consumer.
+
+The cycle-level co-simulation (:mod:`repro.core.dataflow`) never calls
+the blocking operations directly — processes poll :meth:`can_read` /
+:meth:`can_write` and stall for a cycle when the FIFO refuses, exactly
+as the synthesized pipeline would.  The counters kept here (high-water
+mark, stall tallies) feed the FIFO-depth sizing analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+__all__ = ["Stream", "StreamClosed", "StreamEmpty", "StreamFull"]
+
+
+class StreamFull(RuntimeError):
+    """Write attempted on a full stream (producer should have stalled)."""
+
+
+class StreamEmpty(RuntimeError):
+    """Read attempted on an empty stream (consumer should have stalled)."""
+
+
+class StreamClosed(RuntimeError):
+    """Write attempted on a stream whose producer declared completion."""
+
+
+class Stream:
+    """Bounded blocking FIFO with occupancy accounting.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in dataflow wiring and error messages.
+    depth:
+        FIFO capacity; HLS defaults streams to a depth of 2 unless a
+        ``#pragma HLS stream depth=N`` widens them.
+    """
+
+    def __init__(self, name: str, depth: int = 2):
+        if depth < 1:
+            raise ValueError(f"stream depth must be >= 1, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._fifo: deque[Any] = deque()
+        self._closed = False
+        # accounting
+        self.total_writes = 0
+        self.total_reads = 0
+        self.write_stalls = 0  # producer found the FIFO full
+        self.read_stalls = 0  # consumer found the FIFO empty
+        self.high_water = 0
+
+    # -- state ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    def empty(self) -> bool:
+        return not self._fifo
+
+    def full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drained(self) -> bool:
+        """True once the producer closed the stream and the FIFO is empty."""
+        return self._closed and not self._fifo
+
+    # -- non-blocking poll interface (used by the cycle simulation) ---------------
+
+    def can_write(self) -> bool:
+        """Poll for write availability, counting a stall when full."""
+        if self.full():
+            self.write_stalls += 1
+            return False
+        return True
+
+    def can_read(self) -> bool:
+        """Poll for read availability, counting a stall when empty."""
+        if self.empty():
+            self.read_stalls += 1
+            return False
+        return True
+
+    # -- data plane ----------------------------------------------------------------
+
+    def write(self, value: Any) -> None:
+        """Push one token; raises :class:`StreamFull` when the FIFO is full.
+
+        The hardware stream *blocks* instead — processes must poll
+        :meth:`can_write` first, so reaching the exception indicates a
+        scheduling bug, not backpressure.
+        """
+        if self._closed:
+            raise StreamClosed(f"stream {self.name!r} is closed")
+        if self.full():
+            raise StreamFull(
+                f"stream {self.name!r} full (depth={self.depth}); "
+                "producer must stall on can_write()"
+            )
+        self._fifo.append(value)
+        self.total_writes += 1
+        if len(self._fifo) > self.high_water:
+            self.high_water = len(self._fifo)
+
+    def read(self) -> Any:
+        """Pop one token; raises :class:`StreamEmpty` on an empty FIFO."""
+        if not self._fifo:
+            raise StreamEmpty(
+                f"stream {self.name!r} empty; consumer must stall on can_read()"
+            )
+        self.total_reads += 1
+        return self._fifo.popleft()
+
+    def peek(self) -> Any:
+        """Front token without consuming it."""
+        if not self._fifo:
+            raise StreamEmpty(f"stream {self.name!r} empty; cannot peek")
+        return self._fifo[0]
+
+    def close(self) -> None:
+        """Producer-side end-of-stream marker (no hardware equivalent —
+        used by the simulation to let consumers terminate cleanly)."""
+        self._closed = True
+
+    def drain(self) -> Iterable[Any]:
+        """Read out all remaining tokens (test/debug helper)."""
+        while self._fifo:
+            yield self.read()
+
+    def __repr__(self) -> str:
+        return (
+            f"Stream({self.name!r}, depth={self.depth}, "
+            f"occupancy={self.occupancy}, closed={self._closed})"
+        )

@@ -1,0 +1,219 @@
+"""The per-work-item ``Transfer`` block (Listing 4).
+
+Each work-item pairs its ``GammaRNG`` generator with a Transfer engine
+that (a) reads validated gamma RNs from the blocking stream one per
+cycle, (b) packs them 16-to-a-word into ``ap_uint<512>`` registers
+(``g512``), (c) collects ``LTRANSF`` words in a local ``transfBuf``, and
+(d) flushes the buffer to device global memory as one burst (``memcpy``)
+at an offset derived from the work-item id (device-level buffer
+combining, Section III-E-2).
+
+The engine is busy packing for ``16 * LTRANSF`` cycles per burst, during
+which the *other* work-items' bursts drain on the shared channel — the
+interleaving of Fig 3.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.memory import BurstRequest, MemoryChannel
+from repro.core.process import Process
+from repro.core.stream import Stream
+from repro.fixedpoint import FLOATS_PER_WORD, WORD_BITS, float_to_bits
+from repro.fixedpoint.ap_int import ApUInt
+
+__all__ = ["TransferEngine", "DummySource", "WordPacker"]
+
+
+class WordPacker:
+    """The ``g512`` helper: accumulate float32 values into a 512-bit word.
+
+    ``push`` returns ``(word, True)`` when the 16th lane completes a word
+    (the paper's ``tFlag``), else ``(None, False)``.
+    """
+
+    def __init__(self):
+        self._raw = 0
+        self._lane = 0
+
+    def push(self, value: float) -> tuple[ApUInt | None, bool]:
+        bits = float_to_bits(value)
+        self._raw |= bits << (32 * self._lane)
+        self._lane += 1
+        if self._lane == FLOATS_PER_WORD:
+            word = ApUInt(WORD_BITS, self._raw)
+            self._raw = 0
+            self._lane = 0
+            return word, True
+        return None, False
+
+    @property
+    def lane(self) -> int:
+        """Lanes filled in the currently forming word."""
+        return self._lane
+
+
+class _State(enum.Enum):
+    PACK = "pack"
+    WAIT_BURST = "wait_burst"
+    DONE = "done"
+
+
+class TransferEngine(Process):
+    """Cycle-level model of Listing 4.
+
+    Parameters
+    ----------
+    name, wid:
+        Engine identity; ``wid`` selects the memory offset, mirroring
+        ``offset = blockOffset * wid``.
+    source:
+        The gamma stream from the paired ``GammaRNG`` process.
+    channel:
+        The shared :class:`~repro.core.memory.MemoryChannel`.
+    burst_words:
+        ``LTRANSF`` — 512-bit words per burst.
+    bursts_per_sector:
+        ``limitRep`` — fixed trip count of ``REPLOOP``.
+    sectors:
+        ``limitSec`` trip count of ``SECLOOP``.
+    block_offset:
+        Words of device memory reserved per work-item.
+    dependence_false:
+        Models Listing 4's ``#pragma HLS DEPENDENCE variable=transfBuf
+        false``: the tool cannot prove the transfBuf write of iteration
+        i and the read of iteration i+1 touch different entries, so
+        without the pragma the packing loop schedules at II=2.  True
+        (the paper's design) keeps TLOOP at II=1.
+    """
+
+    #: TLOOP initiation interval without the DEPENDENCE-false pragma
+    NAIVE_PACK_II = 2
+
+    def __init__(
+        self,
+        name: str,
+        wid: int,
+        source: Stream,
+        channel: MemoryChannel,
+        burst_words: int,
+        bursts_per_sector: int,
+        sectors: int,
+        block_offset: int,
+        dependence_false: bool = True,
+    ):
+        super().__init__(name)
+        if burst_words < 1:
+            raise ValueError("burst_words must be >= 1")
+        if bursts_per_sector < 1 or sectors < 1:
+            raise ValueError("bursts_per_sector and sectors must be >= 1")
+        needed = sectors * bursts_per_sector * burst_words
+        if block_offset < needed:
+            raise ValueError(
+                f"block_offset {block_offset} cannot hold "
+                f"{needed} words for work-item {wid}"
+            )
+        self.wid = wid
+        self.source = source
+        self.channel = channel
+        self.burst_words = burst_words
+        self.bursts_per_sector = bursts_per_sector
+        self.sectors = sectors
+        self.values_per_burst = burst_words * FLOATS_PER_WORD
+        self._packer = WordPacker()
+        self._buffer: list[ApUInt] = []  # transfBuf
+        self._offset = block_offset * wid
+        self._values_in_burst = 0
+        self._burst_index = 0  # completed bursts overall
+        self._total_bursts = sectors * bursts_per_sector
+        self._state = _State.PACK
+        self._pending: BurstRequest | None = None
+        self.dependence_false = dependence_false
+        self._pack_stall = 0
+
+    def inputs(self) -> tuple[Stream, ...]:
+        return (self.source,)
+
+    def done(self) -> bool:
+        return self._state is _State.DONE
+
+    def tick(self, cycle: int) -> bool:
+        if self._state is _State.WAIT_BURST:
+            if self._pending is not None and self._pending.done:
+                self._pending = None
+                self._burst_index += 1
+                if self._burst_index >= self._total_bursts:
+                    self._state = _State.DONE
+                else:
+                    self._state = _State.PACK
+                # grant/advance bookkeeping counts as progress
+                return self._account(True)
+            return self._account(False)
+
+        # PACK state: one stream read per cycle (TLOOP at II=1 with the
+        # DEPENDENCE-false pragma; II=2 without it)
+        if self._pack_stall > 0:
+            self._pack_stall -= 1
+            self._account(False)
+            return True  # II bubble: time passes by design
+        if not self.source.can_read():
+            return self._account(False)
+        value = self.source.read()
+        if not self.dependence_false:
+            self._pack_stall = self.NAIVE_PACK_II - 1
+        self.stats.iterations += 1
+        word, flag = self._packer.push(value)
+        if flag:
+            self._buffer.append(word)
+        self._values_in_burst += 1
+        if self._values_in_burst == self.values_per_burst:
+            request = BurstRequest(
+                owner=self.name,
+                address=self._offset,
+                words=self._buffer,
+                submitted_cycle=cycle,
+            )
+            self.channel.submit(request)
+            self._pending = request
+            self._offset += self.burst_words
+            self._buffer = []
+            self._values_in_burst = 0
+            self._state = _State.WAIT_BURST
+        return self._account(True)
+
+    @property
+    def bursts_completed(self) -> int:
+        return self._burst_index
+
+
+class DummySource(Process):
+    """Produces one dummy float per cycle — the transfers-only workload.
+
+    Fig 7 is measured "if we now remove the computations from our kernel,
+    leaving only the transfers to device memory ... (using dummy data)".
+    """
+
+    def __init__(self, name: str, sink: Stream, count: int, value: float = 1.0):
+        super().__init__(name)
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.sink = sink
+        self.remaining = count
+        self.value = value
+
+    def outputs(self) -> tuple[Stream, ...]:
+        return (self.sink,)
+
+    def done(self) -> bool:
+        return self.remaining == 0
+
+    def tick(self, cycle: int) -> bool:
+        if self.remaining == 0:
+            return self._account(False)
+        if not self.sink.can_write():
+            return self._account(False)
+        self.sink.write(self.value)
+        self.remaining -= 1
+        self.stats.iterations += 1
+        return self._account(True)

@@ -1,0 +1,73 @@
+"""Accelerator timing models for the four Section IV-A platforms.
+
+* :mod:`repro.devices.ops` — per-platform op cost tables,
+* :mod:`repro.devices.profiles` — per-attempt kernel cost profiles with
+  measured branch statistics,
+* :mod:`repro.devices.partition` — lockstep divergence and straggler
+  mathematics (Fig 2b),
+* :mod:`repro.devices.fixed` — the CPU/GPU/PHI runtime model,
+* :mod:`repro.devices.fpga` — the decoupled-pipelines FPGA model and
+  Eq (1),
+* :mod:`repro.devices.calibration` — the two-cell Table III fit.
+"""
+
+from repro.devices.ops import OP_COSTS, op_cost, segment_cost
+from repro.devices.profiles import (
+    AttemptProfile,
+    PathRates,
+    Segment,
+    attempt_profile,
+    measured_path_rates,
+)
+from repro.devices.partition import (
+    attempt_cycles_decoupled,
+    attempt_cycles_lockstep,
+    divergence_factor,
+    partition_branch_probability,
+    straggler_factor,
+)
+from repro.devices.fixed import (
+    DEFAULT_CALIBRATIONS,
+    DeviceCalibration,
+    FixedArchitectureModel,
+    RuntimeBreakdown,
+    expected_max_geometric,
+    mt_draw_cycles,
+)
+from repro.devices.fpga import FpgaModel, FpgaRuntime, eq1_theoretical_runtime
+from repro.devices.calibration import fit_all, fit_device
+from repro.devices.lockstep_sim import (
+    LockstepResult,
+    render_fig2,
+    simulate_partition,
+)
+
+__all__ = [
+    "OP_COSTS",
+    "op_cost",
+    "segment_cost",
+    "AttemptProfile",
+    "PathRates",
+    "Segment",
+    "attempt_profile",
+    "measured_path_rates",
+    "attempt_cycles_decoupled",
+    "attempt_cycles_lockstep",
+    "divergence_factor",
+    "partition_branch_probability",
+    "straggler_factor",
+    "DEFAULT_CALIBRATIONS",
+    "DeviceCalibration",
+    "FixedArchitectureModel",
+    "RuntimeBreakdown",
+    "expected_max_geometric",
+    "mt_draw_cycles",
+    "FpgaModel",
+    "FpgaRuntime",
+    "eq1_theoretical_runtime",
+    "fit_all",
+    "fit_device",
+    "LockstepResult",
+    "render_fig2",
+    "simulate_partition",
+]

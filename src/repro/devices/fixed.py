@@ -1,0 +1,298 @@
+"""Runtime model for the fixed-architecture accelerators (CPU/GPU/PHI).
+
+The model reproduces how a lockstep machine executes the nested
+rejection kernel:
+
+1. **Per-output retry loop.**  Each work-item produces its quota with a
+   ``do { attempt } while (!valid)`` loop.  In a lockstep partition of
+   width W the loop runs until *every* lane has a valid sample, so the
+   expected partition iterations per output are ``E[max of W iid
+   Geometric(p)]`` — the heart of the Fig 2b penalty, growing with both
+   the rejection rate and the partition width.
+2. **Divergence-inflated attempt cost.**  Each divergent segment bills
+   the partition whenever any lane takes it (probability
+   ``1-(1-p)**W``), costed from the per-platform op tables.
+3. **Mersenne-Twister state pressure.**  A draw costs more when the
+   state array (624 vs 17 words, Table I) no longer sits next to the
+   ALUs — the effect that separates Config1 from Config2 on GPU/PHI but
+   not on CPU.
+4. **Occupancy.**  Work-groups are scheduled in waves over the device's
+   partition slots; localSize below the native width leaves vector
+   lanes dead (left branch of Fig 5a), tiny globalSize leaves slots
+   idle (Fig 5b), and on the GPU a low resident-warp count fails to
+   hide latency.
+
+Two scalars per device are *calibrated* (η — achieved fraction of the
+op-table throughput under the vendor's OpenCL runtime; κ — extra
+penalty per unit rejection rate for divergence side effects such as
+re-convergence and failed vectorization).  They are fitted once against
+two Table III cells per device (Config1 and Config3 CUDA-style) by
+``repro.devices.calibration``; the other rows/columns are predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.ops import OP_COSTS, segment_cost
+from repro.devices.partition import partition_branch_probability
+from repro.devices.profiles import AttemptProfile
+from repro.opencl.ndrange import NDRange
+from repro.opencl.platform import Device, DeviceKind
+
+__all__ = [
+    "DeviceCalibration",
+    "FixedArchitectureModel",
+    "RuntimeBreakdown",
+    "expected_max_geometric",
+    "mt_draw_cycles",
+]
+
+#: per-word cost of streaming the MT state past the draw site —
+#: captures where the state lives on each platform (L1 on the CPU;
+#: L2/global on GPU; ring-bus L2 on KNC)
+MT_STATE_CYCLES_PER_WORD = {"CPU": 0.002, "GPU": 0.09, "PHI": 0.02}
+
+#: resident work-items one GPU SM needs to hide pipeline+memory latency
+#: (Kepler wants ~50 % occupancy = 1024 threads for latency-bound code)
+GPU_LATENCY_HIDING_ITEMS = 1024
+#: CUDA blocks resident per SM (Kepler limit)
+GPU_BLOCKS_PER_CU = 16
+
+#: fast-cache capacity available to one compute unit's resident
+#: work-group state (CPU: per-core L2; KNC: per-core L2).  A work-group
+#: keeps 4 Mersenne-Twister states per work-item live; once the group's
+#: state working set overflows this, draws degrade toward memory speed —
+#: the effect that bends Fig 5a upward right of the optimum.
+CACHE_BYTES_PER_CU = {"CPU": 256 << 10, "PHI": 512 << 10, "GPU": None}
+
+#: twisters per work-item in the Fig 4 pipeline (two for the normal
+#: transform, one rejection, one correction)
+TWISTERS_PER_ITEM = 4
+
+
+@dataclass(frozen=True)
+class DeviceCalibration:
+    """The two fitted scalars of a fixed-architecture model."""
+
+    eta: float  # achieved fraction of op-table throughput, in (0, 1]
+    kappa: float  # extra slowdown per unit rejection rate, >= 0
+
+    def __post_init__(self):
+        if not 0.0 < self.eta <= 1.0:
+            raise ValueError("eta must lie in (0, 1]")
+        if self.kappa < 0.0:
+            raise ValueError("kappa must be >= 0")
+
+
+#: fitted by repro.devices.calibration.fit_all() against Table III
+#: Config1 / Config3-CUDA (see that module for the provenance run)
+DEFAULT_CALIBRATIONS: dict[str, DeviceCalibration] = {
+    "CPU": DeviceCalibration(eta=0.22024063592261245, kappa=5.432540473880234),
+    "GPU": DeviceCalibration(eta=0.09442258550137929, kappa=0.0),
+    "PHI": DeviceCalibration(eta=0.2860895015092019, kappa=0.0),
+}
+
+
+def expected_max_geometric(p: float, width: int, tol: float = 1e-9) -> float:
+    """``E[max of `width` iid Geometric(p)]`` (support 1, 2, ...).
+
+    The per-output lockstep iteration count: a partition's retry loop
+    runs until the slowest lane succeeds.  Computed from
+    ``E[X] = sum_k P(X > k) = sum_k 1 - (1 - q**k)**width``.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError("success probability must lie in (0, 1]")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if p == 1.0:
+        return 1.0
+    q = 1.0 - p
+    total = 0.0
+    qk = 1.0  # q**k starting at k = 0
+    for _ in range(100_000):
+        term = 1.0 - (1.0 - qk) ** width
+        total += term
+        if term < tol:
+            break
+        qk *= q
+    return total
+
+
+def mt_draw_cycles(device_name: str, state_words: int) -> float:
+    """Cycle cost of one Mersenne-Twister draw with an n-word state."""
+    base = OP_COSTS[device_name]["mt_draw"]
+    return base + MT_STATE_CYCLES_PER_WORD[device_name] * state_words
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Decomposed runtime estimate (seconds and diagnostics)."""
+
+    seconds: float
+    attempt_cycles: float  # per lockstep partition iteration
+    iterations_per_output: float  # E[max Geometric] straggler
+    divergence_width: int
+    waves: int
+    occupancy: float
+    launch_overhead_s: float
+
+    @property
+    def milliseconds(self) -> float:
+        return 1e3 * self.seconds
+
+
+class FixedArchitectureModel:
+    """Timing model for one CPU/GPU/PHI device.
+
+    Parameters
+    ----------
+    device:
+        A catalog :class:`~repro.opencl.platform.Device` (CPU/GPU/PHI).
+    calibration:
+        η/κ pair; defaults to the fitted constants.
+    """
+
+    def __init__(self, device: Device, calibration: DeviceCalibration | None = None):
+        if device.kind is DeviceKind.FPGA:
+            raise ValueError(
+                "FPGA devices use repro.devices.fpga.FpgaModel, not the "
+                "lockstep model"
+            )
+        if device.name not in OP_COSTS:
+            raise KeyError(f"no op-cost table for device {device.name!r}")
+        self.device = device
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else DEFAULT_CALIBRATIONS[device.name]
+        )
+
+    # -- cost components -----------------------------------------------------------
+
+    def mt_cache_pressure(self, local_size: int, mt_state_words: int) -> float:
+        """Draw-cost inflation once the group's twister states overflow
+        the compute unit's fast cache (>= 1)."""
+        cache = CACHE_BYTES_PER_CU.get(self.device.name)
+        if cache is None:
+            return 1.0
+        working_set = local_size * TWISTERS_PER_ITEM * mt_state_words * 4
+        return max(1.0, working_set / cache)
+
+    def attempt_cycles(
+        self,
+        profile: AttemptProfile,
+        width: int,
+        mt_state_words: int,
+        local_size: int | None = None,
+    ) -> float:
+        """Expected partition cycles of one lockstep attempt iteration."""
+        name = self.device.name
+        draw = mt_draw_cycles(name, mt_state_words)
+        draw *= self.mt_cache_pressure(local_size or width, mt_state_words)
+        simd = self.device.kind is not DeviceKind.GPU  # SIMT never scalarizes
+        total = 0.0
+        for seg in profile.segments:
+            p_exec = partition_branch_probability(seg.lane_probability, width)
+            ops = dict(seg.ops)
+            draws = ops.pop("mt_draw", 0)
+            cost = segment_cost(name, ops) + draws * draw
+            if simd and not seg.vectorizable:
+                # implicit vectorization falls back to one lane at a time
+                cost *= width
+            total += p_exec * cost
+        return total
+
+    def occupancy(self, ndrange: NDRange) -> float:
+        """Fraction of the device's lane slots doing useful work."""
+        d = self.device
+        native = d.partition_width
+        local = ndrange.work_group_size
+        # vector underfill: a group smaller than the native width wastes
+        # the remaining lanes of its partition slot
+        underfill = min(1.0, local / native)
+        # device fill: not enough work-items to populate every slot
+        resident_capacity = d.total_processing_elements
+        fill = min(1.0, ndrange.total_work_items / resident_capacity)
+        latency = 1.0
+        if d.kind is DeviceKind.GPU:
+            # resident items per SM limited by the blocks-per-SM cap:
+            # small blocks cannot keep enough warps in flight
+            resident = min(GPU_BLOCKS_PER_CU * local, 2048)
+            latency = min(1.0, resident / GPU_LATENCY_HIDING_ITEMS)
+        return underfill * fill * latency
+
+    def iterations_per_output(
+        self, profile: AttemptProfile, local_size: int, outputs_per_item: int
+    ) -> float:
+        """Lockstep retry iterations per accepted output, barrier-aware.
+
+        On CPU/Xeon Phi the implicit vectorizer executes the *whole
+        work-group* in lockstep rounds, so the retry loop waits for the
+        slowest of ``local_size`` lanes.  On the GPU divergence is
+        handled per 32-wide warp, but the block still occupies its SM
+        until the slowest warp finishes its full quota — a milder,
+        aggregate straggler.
+        """
+        from repro.devices.partition import straggler_factor
+
+        if self.device.kind is DeviceKind.GPU:
+            warp = self.device.partition_width
+            iters = expected_max_geometric(
+                profile.accept_prob, min(local_size, warp)
+            )
+            warps_per_group = -(-local_size // warp)
+            if warps_per_group > 1:
+                iters *= straggler_factor(
+                    warps_per_group, outputs_per_item, profile.accept_prob
+                )
+            return iters
+        return expected_max_geometric(profile.accept_prob, local_size)
+
+    # -- the estimate ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        profile: AttemptProfile,
+        ndrange: NDRange,
+        outputs_per_item: int,
+        mt_state_words: int,
+    ) -> RuntimeBreakdown:
+        """Kernel runtime for ``outputs_per_item`` gamma RNs per work-item.
+
+        ``mt_state_words`` selects the Table I twister (624 or 17).
+        """
+        if outputs_per_item < 1:
+            raise ValueError("outputs_per_item must be >= 1")
+        d = self.device
+        cal = self.calibration
+        native = d.partition_width
+        local = ndrange.work_group_size
+        width = min(local, native)
+
+        cycles = self.attempt_cycles(profile, width, mt_state_words, local)
+        iters = self.iterations_per_output(profile, local, outputs_per_item)
+        penalty = 1.0 + cal.kappa * profile.rejection_rate
+
+        # partition instances across the NDRange and hardware slots
+        instances = -(-ndrange.total_work_items // width)
+        slots = max(1, d.total_processing_elements // native)
+        waves = -(-instances // slots)
+        occ = self.occupancy(ndrange)
+
+        per_instance_cycles = outputs_per_item * iters * cycles * penalty
+        compute_s = (
+            waves * per_instance_cycles / (d.frequency_hz * cal.eta * max(occ, 1e-9))
+        )
+        launch_s = (
+            ndrange.num_work_groups * d.group_launch_overhead_s / d.compute_units
+        )
+        return RuntimeBreakdown(
+            seconds=compute_s + launch_s,
+            attempt_cycles=cycles,
+            iterations_per_output=iters,
+            divergence_width=width,
+            waves=waves,
+            occupancy=occ,
+            launch_overhead_s=launch_s,
+        )

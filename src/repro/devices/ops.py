@@ -1,0 +1,97 @@
+"""Per-platform operation cost tables.
+
+The fixed-architecture runtime models charge each kernel operation a
+per-lane reciprocal-throughput cost in clock cycles.  The values are
+order-of-magnitude figures from the vendors' optimization guides for the
+Section IV-A parts (Haswell AVX2, Kepler GK210, Knights Corner), tuned
+so the *relative* runtimes of Table III reproduce — see
+EXPERIMENTS.md for the calibration note.  Absolute cycle counts are not
+claims about the silicon.
+
+Operation classes
+-----------------
+``flop``      add/mul/FMA/compare in float32
+``int_op``    integer ALU op (shift/and/or/xor/add)
+``mt_draw``   one Mersenne-Twister output (state load, twist amortized,
+              4-stage temper) — charged as a unit for readability
+``log``       natural log (float32)
+``sqrt``      square root
+``div``       division
+``pow``       ``x**y`` (exp+log fused)
+``gather``    indexed table load (the ICDF ROM emulation)
+``lzc``       count-leading-zeros (native on GPUs, emulated by a
+              shift/compare cascade on CPU and especially KNC)
+"""
+
+from __future__ import annotations
+
+__all__ = ["OP_COSTS", "op_cost", "OP_KINDS"]
+
+OP_KINDS = (
+    "flop", "int_op", "mt_draw", "log", "sqrt", "div", "pow", "gather", "lzc",
+)
+
+#: cycles per operation per SIMD lane (reciprocal throughput)
+OP_COSTS: dict[str, dict[str, float]] = {
+    # Haswell AVX2: superb scalar/vector FP, vectorized libm (SVML-class)
+    # transcendentals, no vector lzc (emulated), gathers slow pre-Skylake
+    "CPU": {
+        "flop": 0.5,
+        "int_op": 0.5,
+        "mt_draw": 7.0,
+        "log": 11.0,
+        "sqrt": 7.0,
+        "div": 7.0,
+        "pow": 26.0,
+        "gather": 5.0,
+        "lzc": 4.0,
+    },
+    # Kepler GK210: special-function units make log/sqrt cheap, native
+    # __clz, but low clock; per-lane figures at full warp occupancy
+    "GPU": {
+        "flop": 1.0,
+        "int_op": 1.0,
+        "mt_draw": 9.0,
+        "log": 4.0,
+        "sqrt": 4.0,
+        "div": 9.0,
+        "pow": 14.0,
+        "gather": 10.0,
+        "lzc": 1.0,
+    },
+    # Knights Corner: wide vectors but in-order cores, expensive masked
+    # transcendentals, no vector lzc/gather worth the name
+    "PHI": {
+        "flop": 1.0,
+        "int_op": 1.0,
+        "mt_draw": 9.0,
+        "log": 18.0,
+        "sqrt": 11.0,
+        "div": 11.0,
+        "pow": 40.0,
+        "gather": 12.0,
+        "lzc": 8.0,
+    },
+}
+
+
+def op_cost(device_name: str, op: str) -> float:
+    """Cycle cost of one op on one lane of the named device."""
+    try:
+        table = OP_COSTS[device_name]
+    except KeyError:
+        raise KeyError(
+            f"no op-cost table for device {device_name!r}; "
+            f"known: {sorted(OP_COSTS)}"
+        ) from None
+    try:
+        return table[op]
+    except KeyError:
+        raise KeyError(
+            f"unknown op {op!r}; known kinds: {OP_KINDS}"
+        ) from None
+
+
+def segment_cost(device_name: str, ops: dict[str, float]) -> float:
+    """Total per-lane cycle cost of an operation bundle."""
+    return sum(op_cost(device_name, op) * count for op, count in ops.items())

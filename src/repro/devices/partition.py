@@ -1,0 +1,105 @@
+"""Lockstep hardware-partition execution model (Fig 2a/2b).
+
+On CPU/GPU/Xeon Phi, work-items execute in hardware partitions (warps /
+SIMD vectors) that advance one instruction for the whole partition at a
+time.  A divergent segment is executed — and billed to every lane —
+whenever at least one lane needs it; lanes on the other side sit idle
+(the red dots of Fig 2b).  Two quantities capture the cost:
+
+* the **divergence-inflated attempt cost**: each segment's per-partition
+  execution probability is ``1 - (1 - p)**width``, so rare per-lane
+  branches become near-certain for wide partitions;
+* the **straggler factor**: a partition iterates until its *slowest*
+  lane fills its output quota; the ratio E[max of lane attempt counts] /
+  E[lane attempt count] inflates total iterations, growing with the
+  barrier width.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.devices.ops import segment_cost
+from repro.devices.profiles import AttemptProfile
+
+__all__ = [
+    "partition_branch_probability",
+    "attempt_cycles_lockstep",
+    "attempt_cycles_decoupled",
+    "divergence_factor",
+    "straggler_factor",
+]
+
+
+def partition_branch_probability(lane_p: float, width: int) -> float:
+    """P(segment executed by a width-``width`` lockstep partition)."""
+    if width < 1:
+        raise ValueError("partition width must be >= 1")
+    if not 0.0 <= lane_p <= 1.0:
+        raise ValueError("lane probability must lie in [0, 1]")
+    return 1.0 - (1.0 - lane_p) ** width
+
+
+def attempt_cycles_lockstep(
+    device_name: str, profile: AttemptProfile, width: int
+) -> float:
+    """Expected cycles one lockstep attempt occupies the partition."""
+    total = 0.0
+    for seg in profile.segments:
+        p_exec = partition_branch_probability(seg.lane_probability, width)
+        total += p_exec * segment_cost(device_name, seg.ops)
+    return total
+
+
+def attempt_cycles_decoupled(device_name: str, profile: AttemptProfile) -> float:
+    """Expected cycles per attempt with width-1 (fully decoupled) lanes.
+
+    This is the cost an *ideal* divergence-free machine pays — each lane
+    only ever executes the segments it actually needs (Fig 2c).
+    """
+    return attempt_cycles_lockstep(device_name, profile, width=1)
+
+
+def divergence_factor(
+    device_name: str, profile: AttemptProfile, width: int
+) -> float:
+    """Lockstep cost inflation vs the decoupled ideal (>= 1)."""
+    return attempt_cycles_lockstep(device_name, profile, width) / (
+        attempt_cycles_decoupled(device_name, profile)
+    )
+
+
+@lru_cache(maxsize=4096)
+def straggler_factor(
+    barrier_width: int,
+    quota: int,
+    accept_prob: float,
+    samples: int = 4000,
+    seed: int = 99,
+) -> float:
+    """E[max over lanes of attempts-to-quota] / E[attempts-to-quota].
+
+    ``barrier_width`` is the number of work-items that must all finish
+    before their resources free (the work-group on CPU/PHI, the warp's
+    block on GPU).  Attempts-to-quota per lane is quota + a negative
+    binomial; the factor is estimated by a deterministic vectorized
+    Monte-Carlo run and cached.
+    """
+    if barrier_width < 1:
+        raise ValueError("barrier width must be >= 1")
+    if not 0.0 < accept_prob <= 1.0:
+        raise ValueError("accept probability must lie in (0, 1]")
+    if quota < 1:
+        raise ValueError("quota must be >= 1")
+    if barrier_width == 1 or accept_prob == 1.0:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    failures = rng.negative_binomial(
+        quota, accept_prob, size=(samples, barrier_width)
+    )
+    attempts = failures + quota
+    mean_max = attempts.max(axis=1).mean()
+    mean = quota / accept_prob
+    return float(max(1.0, mean_max / mean))

@@ -1,0 +1,81 @@
+"""CreditRisk+ substrate — the application consuming the gamma RNs.
+
+Section II-D4: "CreditRisk+ is a financial model to perform credit risk
+analysis in a portfolio of loans ... the economy state is simulated by
+the combination of sectors, which are assumed to be stochastically
+independent gamma-distributed RNs with expectation E(S_k) = 1 and
+variances Var(S_k) = v_k".  The larger a simulated sector variable, the
+worse that part of the economy in the current Monte-Carlo run.
+
+This package implements the full model:
+
+* :mod:`repro.finance.sectors` — sector definitions and gamma
+  parameterization,
+* :mod:`repro.finance.portfolio` — obligors, exposure bands, sector
+  weights,
+* :mod:`repro.finance.montecarlo` — the Monte-Carlo loss engine driven
+  by (any source of) gamma sector draws, including the FPGA pipeline's
+  device-memory output,
+* :mod:`repro.finance.panjer` — the analytic CreditRisk+ loss
+  distribution via probability-generating-function series (the Panjer
+  family recursion), used as the ground-truth baseline,
+* :mod:`repro.finance.risk` — loss statistics, VaR and expected
+  shortfall.
+"""
+
+from repro.finance.sectors import Sector, gamma_parameters
+from repro.finance.portfolio import Obligor, Portfolio
+from repro.finance.montecarlo import MonteCarloEngine, MonteCarloResult
+from repro.finance.panjer import analytic_loss_distribution
+from repro.finance.risk import (
+    expected_shortfall,
+    loss_statistics,
+    quantile_from_pmf,
+    value_at_risk,
+)
+from repro.finance.generators import (
+    concentrated_portfolio,
+    effective_number_of_obligors,
+    granular_portfolio,
+    herfindahl_index,
+    portfolio_summary,
+)
+from repro.finance.contributions import (
+    VarianceDecomposition,
+    variance_decomposition,
+)
+from repro.finance.options import (
+    GBMParams,
+    OptionResult,
+    black_scholes_price,
+    price_asian,
+    price_european,
+    simulate_gbm_paths,
+)
+
+__all__ = [
+    "Sector",
+    "gamma_parameters",
+    "Obligor",
+    "Portfolio",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "analytic_loss_distribution",
+    "value_at_risk",
+    "expected_shortfall",
+    "loss_statistics",
+    "quantile_from_pmf",
+    "granular_portfolio",
+    "concentrated_portfolio",
+    "herfindahl_index",
+    "effective_number_of_obligors",
+    "portfolio_summary",
+    "GBMParams",
+    "OptionResult",
+    "black_scholes_price",
+    "simulate_gbm_paths",
+    "price_european",
+    "price_asian",
+    "VarianceDecomposition",
+    "variance_decomposition",
+]

@@ -1,0 +1,82 @@
+"""Analytic variance decomposition and risk contributions (CreditRisk+).
+
+With conditionally-Poisson defaults and unit-mean gamma sector factors
+S_k (variance v_k), the portfolio loss L = Σ_i e_i N_i decomposes by
+the conditional-variance identity:
+
+    Var(L) = E[Var(L|S)] + Var(E[L|S])
+           = Σ_i p_i e_i²                        (idiosyncratic)
+           + Σ_k v_k (Σ_i w_ik p_i e_i)²         (systematic)
+
+Per-obligor risk contributions use the exact covariance allocation
+``RC_i = Cov(e_i N_i, L)``, which sums to Var(L) without approximation:
+
+    RC_i = p_i e_i² + e_i p_i Σ_k w_ik v_k μ_k^L,
+    μ_k^L = Σ_j w_jk p_j e_j.
+
+These are the numbers a risk desk actually reads off a CreditRisk+
+run — which names and sectors drive the loss volatility — and they give
+the test suite a second, independent check of the Panjer recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.finance.portfolio import Portfolio
+
+__all__ = ["VarianceDecomposition", "variance_decomposition"]
+
+
+@dataclass
+class VarianceDecomposition:
+    """Closed-form first two moments and their allocations."""
+
+    expected_loss: float
+    variance: float
+    idiosyncratic_variance: float
+    systematic_variance: float
+    sector_systematic: np.ndarray  # per-sector systematic variance
+    obligor_contributions: np.ndarray  # covariance allocation, sums to Var
+
+    @property
+    def loss_std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def diversification_ratio(self) -> float:
+        """Systematic share of the variance — how much the sector
+        factors (the gamma RNs this whole pipeline generates) matter."""
+        return self.systematic_variance / self.variance if self.variance else 0.0
+
+    def top_contributors(self, n: int = 5) -> list[tuple[int, float]]:
+        order = np.argsort(self.obligor_contributions)[::-1][:n]
+        return [(int(i), float(self.obligor_contributions[i])) for i in order]
+
+
+def variance_decomposition(portfolio: Portfolio) -> VarianceDecomposition:
+    """Exact moments of the CreditRisk+ loss (no banding needed)."""
+    if not portfolio.obligors:
+        raise ValueError("portfolio has no obligors")
+    e = portfolio.exposures()
+    p = portfolio.default_probabilities()
+    w = portfolio.weight_matrix()  # (obligors, sectors)
+    v = np.array([s.variance for s in portfolio.sectors])
+
+    el = float(np.sum(p * e))
+    idio = float(np.sum(p * e**2))
+    mu_l = w.T @ (p * e)  # per-sector EL mass
+    sector_sys = v * mu_l**2
+    sys = float(np.sum(sector_sys))
+    # covariance allocation
+    contributions = p * e**2 + (e * p) * (w @ (v * mu_l))
+    return VarianceDecomposition(
+        expected_loss=el,
+        variance=idio + sys,
+        idiosyncratic_variance=idio,
+        systematic_variance=sys,
+        sector_systematic=sector_sys,
+        obligor_contributions=contributions,
+    )

@@ -1,0 +1,122 @@
+"""Analytic CreditRisk+ loss distribution (Panjer-family recursion).
+
+The reference ("ground truth") the Monte-Carlo engine is validated
+against, following the CSFB technical document (paper ref [21]).  With
+sector factors ``S_k ~ Gamma(1/v_k, v_k)`` and conditionally Poisson
+defaults, the loss probability generating function in units of the base
+loss is
+
+    G(z) = prod_k [ (1 - d_k) / (1 - d_k P_k(z)) ]^(1/v_k)
+
+with ``mu_k = sum_i w_ik p_i`` (expected defaults in sector k),
+``d_k = v_k mu_k / (1 + v_k mu_k)``, and the sector's exposure polynomial
+``P_k(z) = (1/mu_k) sum_i w_ik p_i z^{band_i}``.
+
+Coefficients are extracted with power-series arithmetic: the log of each
+factor via the ``(1 - q) A' = q'`` recurrence, the final exponential via
+``G' = L' G`` — both O(N²) in the truncation length with vectorized
+inner products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.finance.portfolio import Portfolio
+
+__all__ = ["analytic_loss_distribution", "log_series_neg", "exp_series"]
+
+
+def log_series_neg(q: np.ndarray) -> np.ndarray:
+    """Power-series coefficients of ``-log(1 - q(z))`` with q(0) = 0.
+
+    Uses the derivative recurrence ``n A_n = n q_n +
+    sum_{m=1}^{n-1} q_m (n - m) A_{n-m}``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    if q.size == 0:
+        return q.copy()
+    if q[0] != 0.0:
+        raise ValueError("log series requires q(0) == 0")
+    n_max = q.size - 1
+    a = np.zeros_like(q)
+    for n in range(1, n_max + 1):
+        acc = n * q[n]
+        if n > 1:
+            m = np.arange(1, n)
+            acc += np.dot(q[m], (n - m) * a[n - m])
+        a[n] = acc / n
+    return a
+
+
+def exp_series(l: np.ndarray, constant: float = 0.0) -> np.ndarray:
+    """Power-series coefficients of ``exp(constant + l(z))`` with l(0)=0.
+
+    Uses ``n G_n = sum_{m=1}^{n} m L_m G_{n-m}``.
+    """
+    l = np.asarray(l, dtype=np.float64)
+    if l.size == 0:
+        return l.copy()
+    if l[0] != 0.0:
+        raise ValueError("exp series requires l(0) == 0")
+    g = np.zeros_like(l)
+    g[0] = np.exp(constant)
+    n_max = l.size - 1
+    weighted = l * np.arange(l.size)  # m * L_m
+    for n in range(1, n_max + 1):
+        m = np.arange(1, n + 1)
+        g[n] = np.dot(weighted[m], g[n - m]) / n
+    return g
+
+
+def analytic_loss_distribution(
+    portfolio: Portfolio,
+    loss_unit: float,
+    max_loss_units: int,
+) -> np.ndarray:
+    """Probability mass of the portfolio loss at 0..max_loss_units.
+
+    Parameters
+    ----------
+    portfolio:
+        Obligors and sectors.
+    loss_unit:
+        Base loss unit L for exposure banding.
+    max_loss_units:
+        Truncation point of the distribution (in loss units).
+
+    Returns
+    -------
+    Array ``pmf`` with ``pmf[n] = P(loss == n * loss_unit)``; the tail
+    mass beyond the truncation is ``1 - pmf.sum()``.
+    """
+    if max_loss_units < 1:
+        raise ValueError("max_loss_units must be >= 1")
+    if not portfolio.obligors:
+        raise ValueError("portfolio has no obligors")
+    bands, p_adj = portfolio.bands(loss_unit)
+    weights = portfolio.weight_matrix()
+    n_sectors = len(portfolio.sectors)
+    size = max_loss_units + 1
+
+    total_log = np.zeros(size)
+    constant = 0.0
+    for k in range(n_sectors):
+        wk = weights[:, k]
+        contrib = wk * p_adj
+        mu_k = float(contrib.sum())
+        if mu_k <= 0.0:
+            continue  # sector with no exposure contributes nothing
+        v_k = portfolio.sectors[k].variance
+        alpha_k = 1.0 / v_k
+        delta_k = v_k * mu_k / (1.0 + v_k * mu_k)
+        # q(z) = delta_k * P_k(z); P_k built from the banded exposures
+        q = np.zeros(size)
+        for band, c in zip(bands, contrib):
+            if c > 0.0 and band < size:
+                q[band] += delta_k * c / mu_k
+        total_log += alpha_k * log_series_neg(q)
+        constant += alpha_k * np.log1p(-delta_k)
+    pmf = exp_series(total_log, constant)
+    # numerical guard: tiny negative coefficients from cancellation
+    return np.clip(pmf, 0.0, None)

@@ -1,0 +1,62 @@
+"""Risk measures over simulated or analytic loss distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "value_at_risk",
+    "expected_shortfall",
+    "loss_statistics",
+    "quantile_from_pmf",
+]
+
+
+def _check_level(level: float) -> None:
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must lie in (0, 1), got {level}")
+
+
+def value_at_risk(losses: np.ndarray, level: float = 0.999) -> float:
+    """Empirical VaR: the ``level`` quantile of the loss sample."""
+    _check_level(level)
+    losses = np.asarray(losses, dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("empty loss sample")
+    return float(np.quantile(losses, level))
+
+
+def expected_shortfall(losses: np.ndarray, level: float = 0.999) -> float:
+    """Average loss beyond the VaR (conditional tail expectation)."""
+    _check_level(level)
+    losses = np.asarray(losses, dtype=np.float64)
+    var = value_at_risk(losses, level)
+    tail = losses[losses >= var]
+    return float(tail.mean()) if tail.size else var
+
+
+def quantile_from_pmf(
+    pmf: np.ndarray, loss_unit: float, level: float
+) -> float:
+    """Quantile of a discrete loss distribution on 0, L, 2L, ..."""
+    _check_level(level)
+    pmf = np.asarray(pmf, dtype=np.float64)
+    cdf = np.cumsum(pmf)
+    idx = int(np.searchsorted(cdf, level))
+    return min(idx, pmf.size - 1) * loss_unit
+
+
+def loss_statistics(losses: np.ndarray) -> dict:
+    """Summary block used by the examples' reports."""
+    losses = np.asarray(losses, dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("empty loss sample")
+    return {
+        "scenarios": int(losses.size),
+        "expected_loss": float(losses.mean()),
+        "std": float(losses.std()),
+        "max": float(losses.max()),
+        "var_99": value_at_risk(losses, 0.99),
+        "var_999": value_at_risk(losses, 0.999),
+        "es_99": expected_shortfall(losses, 0.99),
+    }

@@ -1,0 +1,48 @@
+"""Arbitrary-precision integer and fixed-point types.
+
+This package is a software model of the Vivado HLS header-only types
+``ap_int.h`` / ``ap_fixed.h`` that the paper's FPGA kernels rely on
+(Section II-A: "arbitrary precision data types (ap_int.h) and arbitrary
+precision fixed point types (ap_fixed.h) ... are necessary in our test
+case application").
+
+Exports
+-------
+ApUInt / ApInt
+    Fixed-width wrapping integers with bit slicing and concatenation.
+ApFixed / ApUFixed
+    Fixed-point values with selectable quantization and overflow modes.
+Quantization / Overflow
+    Mode enumerations mirroring ``AP_TRN``/``AP_RND`` and
+    ``AP_WRAP``/``AP_SAT``.
+pack_floats / unpack_floats
+    512-bit word packing used by the Transfer block (Listing 4).
+"""
+
+from repro.fixedpoint.ap_int import ApInt, ApUInt, bit_reverse, concat
+from repro.fixedpoint.ap_fixed import ApFixed, ApUFixed, Overflow, Quantization
+from repro.fixedpoint.packing import (
+    WORD_BITS,
+    FLOATS_PER_WORD,
+    pack_floats,
+    unpack_floats,
+    float_to_bits,
+    bits_to_float,
+)
+
+__all__ = [
+    "ApInt",
+    "ApUInt",
+    "ApFixed",
+    "ApUFixed",
+    "Quantization",
+    "Overflow",
+    "concat",
+    "bit_reverse",
+    "WORD_BITS",
+    "FLOATS_PER_WORD",
+    "pack_floats",
+    "unpack_floats",
+    "float_to_bits",
+    "bits_to_float",
+]

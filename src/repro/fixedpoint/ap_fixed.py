@@ -1,0 +1,255 @@
+"""Fixed-point types modelling Vivado HLS ``ap_fixed<W,I>`` / ``ap_ufixed<W,I>``.
+
+The bit-level ICDF implementation (Section II-D3, after de Schryver et al.)
+operates on fixed-point values; the HLS types it uses carry a total width
+``W``, an integer width ``I`` (so ``W - I`` fractional bits), a quantization
+mode applied when precision is lost, and an overflow mode applied when the
+integer part overflows.  This module reproduces the two mode pairs the
+kernels need: truncation/round-to-plus-inf and wrap/saturate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Union
+
+_Num = Union[int, float, "ApFixed"]
+
+
+class Quantization(enum.Enum):
+    """Quantization mode for dropped fractional bits (HLS ``AP_TRN``/``AP_RND``)."""
+
+    TRN = "trn"  # truncate toward minus infinity (default in HLS)
+    RND = "rnd"  # round to plus infinity on ties
+
+
+class Overflow(enum.Enum):
+    """Overflow mode for out-of-range values (HLS ``AP_WRAP``/``AP_SAT``)."""
+
+    WRAP = "wrap"  # drop MSBs (default in HLS)
+    SAT = "sat"  # clamp to min/max representable
+
+
+class ApFixed:
+    """Signed fixed-point number: ``width`` total bits, ``int_width`` integer bits.
+
+    The representable range is ``[-2**(I-1), 2**(I-1) - ulp]`` with
+    ``ulp = 2**-(W-I)``. Internally the value is stored as an integer count
+    of ulps (two's complement in ``width`` bits).
+
+    Parameters
+    ----------
+    width:
+        Total bit width W (sign bit included).
+    int_width:
+        Integer bit width I (sign bit included). May exceed ``width`` or be
+        negative, as in HLS, to scale the binary point outside the stored
+        bits.
+    value:
+        Initial value (float, int, or another fixed-point number).
+    quantization, overflow:
+        Modes applied on construction and on every arithmetic result.
+    """
+
+    __slots__ = ("_width", "_int_width", "_raw", "_quant", "_ovf")
+
+    def __init__(
+        self,
+        width: int,
+        int_width: int,
+        value: _Num = 0.0,
+        quantization: Quantization = Quantization.TRN,
+        overflow: Overflow = Overflow.WRAP,
+    ):
+        if not isinstance(width, int) or width < 1:
+            raise ValueError(f"width must be a positive int, got {width!r}")
+        self._width = width
+        self._int_width = int_width
+        self._quant = quantization
+        self._ovf = overflow
+        self._raw = self._quantize_to_raw(value)
+
+    # -- layout --------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def int_width(self) -> int:
+        return self._int_width
+
+    @property
+    def frac_bits(self) -> int:
+        """Number of fractional bits (W - I)."""
+        return self._width - self._int_width
+
+    @property
+    def ulp(self) -> float:
+        """Weight of the least significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def signed(self) -> bool:
+        return True
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self._width - 1) - 1) * self.ulp
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self._width - 1)) * self.ulp
+
+    @property
+    def raw(self) -> int:
+        """Two's complement bit pattern (unsigned int in [0, 2**W))."""
+        return self._raw & ((1 << self._width) - 1)
+
+    # -- quantization / overflow ------------------------------------------------
+
+    def _sign_limits(self):
+        if self.signed:
+            return -(2 ** (self._width - 1)), 2 ** (self._width - 1) - 1
+        return 0, 2**self._width - 1
+
+    def _quantize_to_raw(self, value: _Num) -> int:
+        """Convert an external value to a signed raw ulp count, applying modes."""
+        if isinstance(value, ApFixed):
+            value = value.to_float()
+        scaled = float(value) * (2.0**self.frac_bits)
+        if self._quant is Quantization.TRN:
+            ticks = math.floor(scaled)
+        else:  # RND: round half toward plus infinity, HLS AP_RND
+            ticks = math.floor(scaled + 0.5)
+        lo, hi = self._sign_limits()
+        if lo <= ticks <= hi:
+            return ticks
+        if self._ovf is Overflow.SAT:
+            return hi if ticks > hi else lo
+        # WRAP: keep low W bits, reinterpret
+        span = 1 << self._width
+        wrapped = ticks % span
+        if self.signed and wrapped >= span // 2:
+            wrapped -= span
+        return wrapped
+
+    # -- conversion ---------------------------------------------------------
+
+    @classmethod
+    def from_raw(
+        cls,
+        width: int,
+        int_width: int,
+        raw: int,
+        quantization: Quantization = Quantization.TRN,
+        overflow: Overflow = Overflow.WRAP,
+    ) -> "ApFixed":
+        """Build directly from a two's complement bit pattern."""
+        out = cls(width, int_width, 0.0, quantization, overflow)
+        span = 1 << width
+        raw %= span
+        if out.signed and raw >= span // 2:
+            raw -= span
+        out._raw = raw
+        return out
+
+    def to_float(self) -> float:
+        return self._raw * self.ulp
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def __int__(self) -> int:
+        return int(self.to_float())
+
+    def __bool__(self) -> bool:
+        return self._raw != 0
+
+    def _like(self, value: _Num) -> "ApFixed":
+        return type(self)(self._width, self._int_width, value, self._quant, self._ovf)
+
+    # -- arithmetic (result re-quantized into this format) ----------------------
+
+    def __add__(self, other: _Num) -> "ApFixed":
+        return self._like(self.to_float() + _as_float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Num) -> "ApFixed":
+        return self._like(self.to_float() - _as_float(other))
+
+    def __rsub__(self, other: _Num) -> "ApFixed":
+        return self._like(_as_float(other) - self.to_float())
+
+    def __mul__(self, other: _Num) -> "ApFixed":
+        return self._like(self.to_float() * _as_float(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Num) -> "ApFixed":
+        return self._like(self.to_float() / _as_float(other))
+
+    def __neg__(self) -> "ApFixed":
+        return self._like(-self.to_float())
+
+    def __abs__(self) -> "ApFixed":
+        return self._like(abs(self.to_float()))
+
+    # -- comparison -----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        try:
+            return self.to_float() == _as_float(other)
+        except TypeError:
+            return NotImplemented
+
+    def __lt__(self, other: _Num) -> bool:
+        return self.to_float() < _as_float(other)
+
+    def __le__(self, other: _Num) -> bool:
+        return self.to_float() <= _as_float(other)
+
+    def __gt__(self, other: _Num) -> bool:
+        return self.to_float() > _as_float(other)
+
+    def __ge__(self, other: _Num) -> bool:
+        return self.to_float() >= _as_float(other)
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._int_width, self._raw, self.signed))
+
+    def __repr__(self) -> str:
+        kind = "ApFixed" if self.signed else "ApUFixed"
+        return f"{kind}<{self._width},{self._int_width}>({self.to_float()!r})"
+
+
+class ApUFixed(ApFixed):
+    """Unsigned fixed-point number (HLS ``ap_ufixed<W,I>``)."""
+
+    __slots__ = ()
+
+    @property
+    def signed(self) -> bool:
+        return False
+
+    @property
+    def max_value(self) -> float:
+        return (2**self._width - 1) * self.ulp
+
+    @property
+    def min_value(self) -> float:
+        return 0.0
+
+    @property
+    def raw(self) -> int:
+        return self._raw  # already non-negative
+
+
+def _as_float(value: _Num) -> float:
+    if isinstance(value, ApFixed):
+        return value.to_float()
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise TypeError(f"cannot interpret {type(value).__name__} as a number")

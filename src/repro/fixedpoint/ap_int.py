@@ -1,0 +1,314 @@
+"""Fixed-width integers modelling Vivado HLS ``ap_uint<W>`` / ``ap_int<W>``.
+
+The FPGA kernels in the paper manipulate raw bit vectors: the 512-bit
+memory words of the Transfer block (Listing 4), the 32-bit Mersenne-Twister
+state words, and the bit-level ICDF of de Schryver et al. (Section II-D3).
+``ApUInt`` gives those operations HLS semantics in Python:
+
+* arithmetic wraps modulo ``2**width`` (no silent promotion),
+* ``x[i]`` reads a single bit, ``x[hi:lo]`` reads an inclusive bit range
+  (HLS ``x.range(hi, lo)`` convention, MSB first),
+* ``concat`` mirrors the HLS ``(a, b)`` concatenation operator.
+
+Instances are immutable; every operation returns a new value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+_IntLike = Union[int, "ApUInt", "ApInt"]
+
+
+def _coerce(value: _IntLike) -> int:
+    """Extract a plain Python int from an int-like operand."""
+    if isinstance(value, (ApUInt, ApInt)):
+        return value.value
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"cannot interpret {type(value).__name__} as an integer")
+
+
+class ApUInt:
+    """Unsigned integer of exactly ``width`` bits with wrapping arithmetic.
+
+    Parameters
+    ----------
+    width:
+        Bit width (>= 1). There is no upper limit, matching HLS's
+        "infinite bit-level parallelism".
+    value:
+        Initial value; reduced modulo ``2**width``.
+    """
+
+    __slots__ = ("_width", "_value")
+
+    def __init__(self, width: int, value: _IntLike = 0):
+        if not isinstance(width, int) or width < 1:
+            raise ValueError(f"width must be a positive int, got {width!r}")
+        self._width = width
+        self._value = _coerce(value) & self.mask
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bit width of the type."""
+        return self._width
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask for this width."""
+        return (1 << self._width) - 1
+
+    @property
+    def value(self) -> int:
+        """Plain unsigned Python integer value."""
+        return self._value
+
+    def _new(self, value: int) -> "ApUInt":
+        return ApUInt(self._width, value)
+
+    # -- bit access ---------------------------------------------------------
+
+    def __getitem__(self, index) -> "ApUInt":
+        """Bit access: ``x[i]`` is one bit; ``x[hi:lo]`` is an inclusive
+        range in HLS MSB-first order (``hi >= lo``)."""
+        if isinstance(index, slice):
+            if index.step is not None:
+                raise ValueError("bit slices do not support a step")
+            hi, lo = index.start, index.stop
+            if hi is None or lo is None:
+                raise ValueError("bit slices need explicit hi:lo bounds")
+            return self.range(hi, lo)
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} out of range for width {self._width}")
+        return ApUInt(1, (self._value >> index) & 1)
+
+    def range(self, hi: int, lo: int) -> "ApUInt":
+        """HLS ``.range(hi, lo)``: bits ``hi`` down to ``lo`` inclusive."""
+        if not (0 <= lo <= hi < self._width):
+            raise IndexError(
+                f"range({hi},{lo}) out of bounds for width {self._width}"
+            )
+        nbits = hi - lo + 1
+        return ApUInt(nbits, (self._value >> lo) & ((1 << nbits) - 1))
+
+    def set_bit(self, index: int, bit: _IntLike) -> "ApUInt":
+        """Return a copy with bit ``index`` set to ``bit`` (0 or 1)."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} out of range for width {self._width}")
+        b = _coerce(bit) & 1
+        cleared = self._value & ~(1 << index)
+        return self._new(cleared | (b << index))
+
+    def set_range(self, hi: int, lo: int, value: _IntLike) -> "ApUInt":
+        """Return a copy with bits ``hi:lo`` replaced by ``value``."""
+        if not (0 <= lo <= hi < self._width):
+            raise IndexError(
+                f"range({hi},{lo}) out of bounds for width {self._width}"
+            )
+        nbits = hi - lo + 1
+        field_mask = ((1 << nbits) - 1) << lo
+        v = (_coerce(value) & ((1 << nbits) - 1)) << lo
+        return self._new((self._value & ~field_mask) | v)
+
+    def bits(self) -> Iterable[int]:
+        """Iterate bits LSB first."""
+        v = self._value
+        for _ in range(self._width):
+            yield v & 1
+            v >>= 1
+
+    def count_ones(self) -> int:
+        """Population count."""
+        return bin(self._value).count("1")
+
+    # -- conversion ---------------------------------------------------------
+
+    def resize(self, width: int) -> "ApUInt":
+        """Zero-extend or truncate to a new width (HLS assignment rules)."""
+        return ApUInt(width, self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    # -- arithmetic (wrapping, width-preserving) -----------------------------
+
+    def __add__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value + _coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value - _coerce(other))
+
+    def __rsub__(self, other: _IntLike) -> "ApUInt":
+        return self._new(_coerce(other) - self._value)
+
+    def __mul__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value * _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value // _coerce(other))
+
+    def __mod__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value % _coerce(other))
+
+    # -- bitwise --------------------------------------------------------------
+
+    def __and__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value & _coerce(other))
+
+    __rand__ = __and__
+
+    def __or__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value | _coerce(other))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: _IntLike) -> "ApUInt":
+        return self._new(self._value ^ _coerce(other))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "ApUInt":
+        return self._new(~self._value)
+
+    def __lshift__(self, n: int) -> "ApUInt":
+        """Width-preserving shift: bits shifted past the MSB are lost."""
+        return self._new(self._value << _coerce(n))
+
+    def __rshift__(self, n: int) -> "ApUInt":
+        return self._new(self._value >> _coerce(n))
+
+    # -- comparison ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        try:
+            return self._value == _coerce(other)
+        except TypeError:
+            return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __lt__(self, other: _IntLike) -> bool:
+        return self._value < _coerce(other)
+
+    def __le__(self, other: _IntLike) -> bool:
+        return self._value <= _coerce(other)
+
+    def __gt__(self, other: _IntLike) -> bool:
+        return self._value > _coerce(other)
+
+    def __ge__(self, other: _IntLike) -> bool:
+        return self._value >= _coerce(other)
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value))
+
+    def __repr__(self) -> str:
+        return f"ApUInt({self._width}, 0x{self._value:0{(self._width + 3) // 4}x})"
+
+
+class ApInt(ApUInt):
+    """Signed two's-complement integer of exactly ``width`` bits.
+
+    Storage is the unsigned bit pattern; ``value`` returns the signed
+    interpretation, and arithmetic wraps in two's complement.
+    """
+
+    __slots__ = ()
+
+    @property
+    def value(self) -> int:
+        raw = self._value
+        if raw >= 1 << (self._width - 1):
+            raw -= 1 << self._width
+        return raw
+
+    @property
+    def raw(self) -> int:
+        """Unsigned bit pattern."""
+        return self._value
+
+    def _new(self, value: int) -> "ApInt":
+        return ApInt(self._width, value)
+
+    def resize(self, width: int) -> "ApInt":
+        """Sign-extend or truncate to a new width."""
+        return ApInt(width, self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __rshift__(self, n: int) -> "ApInt":
+        """Arithmetic right shift (sign-propagating)."""
+        return self._new(self.value >> _coerce(n))
+
+    def __lt__(self, other: _IntLike) -> bool:
+        return self.value < _coerce(other)
+
+    def __le__(self, other: _IntLike) -> bool:
+        return self.value <= _coerce(other)
+
+    def __gt__(self, other: _IntLike) -> bool:
+        return self.value > _coerce(other)
+
+    def __ge__(self, other: _IntLike) -> bool:
+        return self.value >= _coerce(other)
+
+    def __eq__(self, other) -> bool:
+        try:
+            return self.value == _coerce(other)
+        except TypeError:
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value, "signed"))
+
+    def __repr__(self) -> str:
+        return f"ApInt({self._width}, {self.value})"
+
+
+def concat(*parts: ApUInt) -> ApUInt:
+    """HLS concatenation ``(a, b, c)``: first operand becomes the MSBs."""
+    if not parts:
+        raise ValueError("concat needs at least one operand")
+    width = 0
+    value = 0
+    for part in parts:
+        if not isinstance(part, ApUInt):
+            raise TypeError("concat operands must be ApUInt/ApInt")
+        width += part.width
+        value = (value << part.width) | (part._value)
+    return ApUInt(width, value)
+
+
+def bit_reverse(x: ApUInt) -> ApUInt:
+    """Reverse bit order — free wiring on an FPGA, used by bit-level RNGs."""
+    v = 0
+    src = int(x._value)
+    for _ in range(x.width):
+        v = (v << 1) | (src & 1)
+        src >>= 1
+    return ApUInt(x.width, v)

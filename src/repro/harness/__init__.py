@@ -1,0 +1,52 @@
+"""Experiment harness: one driver per paper table/figure.
+
+* :mod:`repro.harness.configs` — the Table I configuration registry,
+* :mod:`repro.harness.experiments` — ``run_table1`` … ``run_fig9``,
+  each returning a structured result with paper-vs-measured fields,
+* :mod:`repro.harness.reporting` — plain-text tables and series.
+"""
+
+from repro.harness.configs import CONFIGURATIONS, Configuration
+from repro.harness.reporting import format_series, format_table
+from repro.harness.session import KernelSession, SessionResult
+from repro.harness.experiments import (
+    run_buffer_combining,
+    run_eq1,
+    run_fig2,
+    run_fig3,
+    run_variance_sweep,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_rejection_rates,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "Configuration",
+    "CONFIGURATIONS",
+    "format_table",
+    "format_series",
+    "run_fig2",
+    "run_fig3",
+    "run_variance_sweep",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_eq1",
+    "run_rejection_rates",
+    "run_buffer_combining",
+    "KernelSession",
+    "SessionResult",
+]

@@ -1,0 +1,81 @@
+"""The Table I configuration registry.
+
+Binds each paper configuration name to everything the experiment
+drivers need: the uniform→normal transform, the Mersenne-Twister
+parameter set, the MT state size, and the FPGA work-item count from the
+Table II resource fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernel import GammaKernelConfig
+from repro.paper import FPGA_WORK_ITEMS, SETUP
+from repro.rng.mersenne import MT19937_PARAMS, MT521_PARAMS, MTParams
+
+__all__ = ["Configuration", "CONFIGURATIONS"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One Table I row, fully resolved."""
+
+    name: str
+    transform: str  # "marsaglia_bray" | "icdf"
+    mt_params: MTParams
+    fpga_work_items: int
+
+    @property
+    def exponent(self) -> int:
+        return self.mt_params.exponent
+
+    @property
+    def state_words(self) -> int:
+        return self.mt_params.n
+
+    @property
+    def period_str(self) -> str:
+        return f"2^({self.exponent}-1)... - 1"
+
+    def kernel_transform(self) -> str:
+        """The transform name the cycle-level kernel uses (the FPGA always
+        runs the bit-level ICDF, Section II-D3)."""
+        return "marsaglia_bray" if self.transform == "marsaglia_bray" else "icdf_fpga"
+
+    def kernel_config(
+        self,
+        limit_main: int = 512,
+        sector_variances: tuple[float, ...] | None = None,
+        **overrides,
+    ) -> GammaKernelConfig:
+        """A cycle-simulation kernel config for this configuration.
+
+        ``limit_main`` defaults to a reduced-scale value: the cycle
+        simulator is for behavioral experiments; paper-scale runtime
+        numbers come from the analytic models.
+        """
+        return GammaKernelConfig(
+            transform=self.kernel_transform(),
+            mt_params=self.mt_params,
+            sector_variances=sector_variances
+            or (SETUP.sector_variance,),
+            limit_main=limit_main,
+            **overrides,
+        )
+
+
+CONFIGURATIONS: dict[str, Configuration] = {
+    "Config1": Configuration(
+        "Config1", "marsaglia_bray", MT19937_PARAMS, FPGA_WORK_ITEMS["Config1"]
+    ),
+    "Config2": Configuration(
+        "Config2", "marsaglia_bray", MT521_PARAMS, FPGA_WORK_ITEMS["Config2"]
+    ),
+    "Config3": Configuration(
+        "Config3", "icdf", MT19937_PARAMS, FPGA_WORK_ITEMS["Config3"]
+    ),
+    "Config4": Configuration(
+        "Config4", "icdf", MT521_PARAMS, FPGA_WORK_ITEMS["Config4"]
+    ),
+}

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "to_markdown"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table (the benches print these)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """GitHub-flavored markdown table (for EXPERIMENTS.md-style docs)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, dict],
+    title: str | None = None,
+) -> str:
+    """Render {series_name: {x: y}} as one table with an x column."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name].get(x, "") for name in series)] for x in xs
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,213 @@
+"""Full host-side sessions: OpenCL queue + device models + power protocol.
+
+Ties the substrates together the way the paper's actual measurement
+campaign does: the host creates a context on one of the four devices,
+declares the (device-level combined) result buffer, enqueues the gamma
+kernel repeatedly with the platform-appropriate time model, reads the
+result back over PCIe, and hands the event timeline to the power
+protocol.
+
+This is the layer the examples and the energy experiments sit on when
+they need *timeline* semantics (markers, asynchronous enqueue, event
+profiling) rather than just a runtime scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices import (
+    FixedArchitectureModel,
+    FpgaModel,
+    attempt_profile,
+    measured_path_rates,
+)
+from repro.harness.configs import CONFIGURATIONS, Configuration
+from repro.opencl import (
+    CommandQueue,
+    Context,
+    KernelHandle,
+    MemFlag,
+    NDRange,
+    paper_platform,
+)
+from repro.paper import OPTIMAL_LOCAL_SIZES, SETUP
+from repro.power import MeasurementProtocol, PowerModel, VirtualMultimeter
+
+__all__ = ["KernelSession", "SessionResult"]
+
+
+@dataclass
+class SessionResult:
+    """Timeline and derived quantities of one measurement session."""
+
+    device: str
+    config: str
+    kernel_seconds: float
+    invocations: int
+    total_seconds: float
+    readback_seconds: float
+    energy_per_invocation_j: float
+
+    @property
+    def kernel_ms(self) -> float:
+        return 1e3 * self.kernel_seconds
+
+
+class KernelSession:
+    """One host+accelerator combination running a Table I configuration.
+
+    Parameters
+    ----------
+    device_name:
+        "CPU", "GPU", "PHI" or "FPGA" (the paper's four setups).
+    config:
+        A Table I configuration name or :class:`Configuration`.
+    icdf_style:
+        ICDF implementation on the fixed platforms ("cuda"/"fpga").
+    """
+
+    def __init__(
+        self,
+        device_name: str,
+        config: str | Configuration = "Config1",
+        icdf_style: str = "cuda",
+    ):
+        self.configuration = (
+            CONFIGURATIONS[config] if isinstance(config, str) else config
+        )
+        self.device_name = device_name
+        self.icdf_style = icdf_style
+        self.context = Context(paper_platform(), device_name)
+        self.queue: CommandQueue = self.context.create_queue()
+        self._kernel = self._build_kernel()
+
+    # -- kernel construction -----------------------------------------------------
+
+    def _kernel_seconds(self) -> float:
+        cfg = self.configuration
+        if self.device_name == "FPGA":
+            key = (
+                "marsaglia_bray"
+                if cfg.transform == "marsaglia_bray"
+                else "icdf_fpga"
+            )
+            r = 1.0 - measured_path_rates(
+                key, SETUP.sector_variance
+            ).combined_accept
+            model = FpgaModel(n_work_items=cfg.fpga_work_items)
+            return model.estimate(
+                SETUP.total_outputs, SETUP.num_sectors, r
+            ).seconds
+        model = FixedArchitectureModel(
+            self.context.platform.device(self.device_name)
+        )
+        profile = attempt_profile(
+            cfg.transform, SETUP.sector_variance, icdf_style=self.icdf_style
+        )
+        ndrange = NDRange(
+            SETUP.global_size, OPTIMAL_LOCAL_SIZES[self.device_name]
+        )
+        return model.estimate(
+            profile, ndrange, SETUP.outputs_per_work_item, cfg.state_words
+        ).seconds
+
+    def _build_kernel(self) -> KernelHandle:
+        seconds = self._kernel_seconds()
+        return KernelHandle(
+            name=f"gamma_{self.configuration.name}_{self.device_name}",
+            body=None,  # functional content lives in repro.core; this
+            # layer models the host timeline only
+            time_model=lambda device, ndrange, **args: seconds,
+        )
+
+    # -- the session ------------------------------------------------------------------
+
+    def run(
+        self,
+        min_active_s: float = 150.0,
+        window_s: float = 100.0,
+        result_bytes: int | None = None,
+    ) -> SessionResult:
+        """Reproduce the §IV-F campaign on this device.
+
+        Enqueues the kernel back-to-back until ``min_active_s`` of
+        activity, reads the (single, device-level combined) result
+        buffer back, and measures the dynamic energy per invocation.
+        """
+        kernel_s = self._kernel.duration(self.context.device, None, {})
+        invocations = max(1, int(-(-min_active_s // kernel_s)))
+        result_bytes = (
+            SETUP.total_bytes if result_bytes is None else result_bytes
+        )
+        buffer = self.context.create_buffer(
+            "gammaValues", result_bytes, MemFlag.WRITE_ONLY
+        )
+        self.queue.enqueue_marker("trigger")
+        for _ in range(invocations):
+            self.queue.enqueue_task(self._kernel)
+        self.queue.enqueue_marker("last_kernel_done")
+        t_read0 = self.queue.now
+        self.queue.enqueue_read_buffer(buffer)
+        total = self.queue.finish()
+
+        meter = VirtualMultimeter(PowerModel())
+        protocol = MeasurementProtocol(
+            meter, min_active_s=min_active_s, window_s=window_s
+        )
+        energy = protocol.measure(self.device_name, kernel_s)
+        return SessionResult(
+            device=self.device_name,
+            config=self.configuration.name,
+            kernel_seconds=kernel_s,
+            invocations=invocations,
+            total_seconds=total,
+            readback_seconds=total - t_read0,
+            energy_per_invocation_j=energy.energy_per_invocation_j,
+        )
+
+    def run_functional(self, outputs_per_item: int = 256):
+        """FPGA sessions only: run the *cycle-accurate* kernel at reduced
+        scale so the OpenCL buffer carries real gamma RNs.
+
+        The kernel body executes :class:`repro.core.DecoupledWorkItems`
+        and stores its device-memory image into the buffer (device-level
+        combining, §III-E-2); the host reads it back over the modeled
+        PCIe link.  Returns ``(host_array, cycle_result, event)``.
+        """
+        if self.device_name != "FPGA":
+            raise ValueError(
+                "functional execution uses the FPGA cycle simulator; "
+                f"device {self.device_name!r} has no functional model"
+            )
+        import numpy as np
+
+        from repro.core import DecoupledConfig, DecoupledWorkItems
+
+        cfg = self.configuration
+        sim_config = DecoupledConfig(
+            n_work_items=cfg.fpga_work_items,
+            kernel=cfg.kernel_config(limit_main=outputs_per_item),
+            burst_words=2,
+        )
+        holder: dict = {}
+
+        def body(device, ndrange, out):
+            sim = DecoupledWorkItems(sim_config).run()
+            holder["result"] = sim
+            out.store(0, sim.gammas().astype(np.float32))
+
+        def time_model(device, ndrange, **args):
+            return holder["result"].cycles / sim_config.frequency_hz
+
+        total_values = sim_config.n_work_items * sim_config.kernel.total_outputs
+        buffer = self.context.create_buffer(
+            "gammaValues_functional", total_values * 4, MemFlag.WRITE_ONLY
+        )
+        kernel = KernelHandle(
+            f"gamma_functional_{cfg.name}", body=body, time_model=time_model
+        )
+        self.queue.enqueue_task(kernel, out=buffer)
+        event = self.queue.enqueue_read_buffer(buffer)
+        host = event.info["data"].view(np.float32).copy()
+        return host, holder["result"], event

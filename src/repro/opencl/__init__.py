@@ -1,0 +1,56 @@
+"""OpenCL platform substrate (host-side model).
+
+The paper evaluates four *host+accelerator* combinations through the
+OpenCL framework (Section II, Fig 1).  This package models the host-side
+machinery those experiments rely on:
+
+* :mod:`repro.opencl.platform` — platforms, devices, compute units and
+  processing elements, with the paper's Section IV-A device catalog,
+* :mod:`repro.opencl.ndrange` — NDRange / work-group / work-item index
+  space,
+* :mod:`repro.opencl.buffer` — device buffers,
+* :mod:`repro.opencl.event` — events with OpenCL-style profiling info,
+* :mod:`repro.opencl.queue` — in-order command queues over a simulated
+  host/device timeline (PCIe transfers + kernel execution),
+* :mod:`repro.opencl.buffers` — the two §III-E buffer-combining
+  strategies (host-level vs device-level).
+"""
+
+from repro.opencl.platform import (
+    Device,
+    DeviceKind,
+    Platform,
+    ComputeUnit,
+    PAPER_DEVICES,
+    paper_platform,
+)
+from repro.opencl.ndrange import NDRange
+from repro.opencl.buffer import Buffer, MemFlag
+from repro.opencl.event import CommandType, Event, EventStatus
+from repro.opencl.queue import CommandQueue, Context, KernelHandle
+from repro.opencl.buffers import (
+    CombiningResult,
+    combine_at_device_level,
+    combine_at_host_level,
+)
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "Platform",
+    "ComputeUnit",
+    "PAPER_DEVICES",
+    "paper_platform",
+    "NDRange",
+    "Buffer",
+    "MemFlag",
+    "Event",
+    "EventStatus",
+    "CommandType",
+    "CommandQueue",
+    "Context",
+    "KernelHandle",
+    "CombiningResult",
+    "combine_at_host_level",
+    "combine_at_device_level",
+]

@@ -1,0 +1,93 @@
+"""Device buffers (``cl_mem`` objects).
+
+"The host transfers data (read/write) to device global memory, by
+pre-declaring the necessary buffers" (Section II).  Buffers carry their
+byte size, access flags and a numpy backing store standing in for the
+device allocation; the command queue moves data between this store and
+host arrays with modeled PCIe timing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Buffer", "MemFlag"]
+
+
+class MemFlag(enum.Flag):
+    """Subset of cl_mem_flags used by the experiments."""
+
+    READ_WRITE = enum.auto()
+    READ_ONLY = enum.auto()
+    WRITE_ONLY = enum.auto()
+
+
+class Buffer:
+    """One device-global-memory allocation.
+
+    Parameters
+    ----------
+    name:
+        Debug identifier.
+    size_bytes:
+        Allocation size; must be a positive multiple of 4 (the kernels
+        move float32 / uint32 payloads).
+    flags:
+        Host-visibility flags.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        flags: MemFlag = MemFlag.READ_WRITE,
+    ):
+        if size_bytes <= 0 or size_bytes % 4:
+            raise ValueError(
+                f"buffer size must be a positive multiple of 4, got {size_bytes}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.flags = flags
+        self._data = np.zeros(size_bytes // 4, dtype=np.uint32)
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def size_words32(self) -> int:
+        return self._data.size
+
+    def as_float32(self) -> np.ndarray:
+        """Device contents viewed as float32 (no copy)."""
+        return self._data.view(np.float32)
+
+    def as_uint32(self) -> np.ndarray:
+        return self._data
+
+    def store(self, offset_bytes: int, payload: np.ndarray) -> None:
+        """Device-side write (used by kernels and enqueue_write)."""
+        arr = np.ascontiguousarray(payload).view(np.uint32).ravel()
+        start, stop = self._span(offset_bytes, arr.nbytes)
+        self._data[start:stop] = arr
+        self.writes += 1
+
+    def load(self, offset_bytes: int, nbytes: int) -> np.ndarray:
+        """Device-side read returning raw uint32 words (copy)."""
+        start, stop = self._span(offset_bytes, nbytes)
+        self.reads += 1
+        return self._data[start:stop].copy()
+
+    def _span(self, offset_bytes: int, nbytes: int) -> tuple[int, int]:
+        if offset_bytes % 4 or nbytes % 4:
+            raise ValueError("offsets and lengths must be 4-byte aligned")
+        if offset_bytes < 0 or offset_bytes + nbytes > self.size_bytes:
+            raise IndexError(
+                f"access [{offset_bytes}, {offset_bytes + nbytes}) outside "
+                f"buffer {self.name!r} of {self.size_bytes} bytes"
+            )
+        return offset_bytes // 4, (offset_bytes + nbytes) // 4
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name!r}, {self.size_bytes} B, {self.flags})"

@@ -1,0 +1,123 @@
+"""Host/device buffer combining strategies (Section III-E).
+
+With N decoupled work-items each owning a pointer into device memory,
+the host wants ONE contiguous result buffer.  The paper weighs two
+solutions:
+
+1. **Combining at host level** — N device buffers of length L/N, N read
+   requests, each landing at destination offset ``wid * L/N`` in the
+   single host buffer.  Costs N PCIe round-trip latencies.
+2. **Combining at device level** — one device buffer of length L bound
+   N times to the kernel; each work-item writes at ``blockOffset * wid``
+   (Listing 4), so a single read request suffices.  Device-side cost:
+   "less than 1 % loss for the setup in Section IV-B" from bank
+   arbitration on the shared buffer.  This is the strategy the paper
+   (and :mod:`repro.core.decoupled`) adopts.
+
+Both functions run the full functional path — data really moves through
+:class:`~repro.opencl.buffer.Buffer` objects — and report the modeled
+read-back time, so the trade-off is measurable, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.opencl.buffer import MemFlag
+from repro.opencl.queue import Context
+
+__all__ = ["CombiningResult", "combine_at_host_level", "combine_at_device_level"]
+
+#: Device-side slowdown of sharing one buffer among N writers (paper:
+#: "less than 1% loss"); applied to the kernel time by callers.
+DEVICE_LEVEL_KERNEL_PENALTY = 0.005
+
+
+@dataclass
+class CombiningResult:
+    """Outcome of one combining strategy run."""
+
+    strategy: str
+    host_array: np.ndarray  # the single combined host buffer
+    read_requests: int
+    read_time_s: float  # total device→host readback time
+    device_buffers: int
+    kernel_time_penalty: float  # multiplicative device-side cost
+
+    @property
+    def summary(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "read_requests": self.read_requests,
+            "read_time_ms": 1e3 * self.read_time_s,
+            "device_buffers": self.device_buffers,
+            "kernel_time_penalty": self.kernel_time_penalty,
+        }
+
+
+def _check_inputs(per_item_outputs: list[np.ndarray]) -> int:
+    if not per_item_outputs:
+        raise ValueError("need at least one work-item output block")
+    lengths = {a.size for a in per_item_outputs}
+    if len(lengths) != 1:
+        raise ValueError(
+            "all work-items must produce equally sized blocks "
+            "(fixed blockOffset layout)"
+        )
+    return lengths.pop()
+
+
+def combine_at_host_level(
+    context: Context, per_item_outputs: list[np.ndarray]
+) -> CombiningResult:
+    """Strategy III-E-1: N device buffers, N reads into one host buffer."""
+    block = _check_inputs(per_item_outputs)
+    n = len(per_item_outputs)
+    queue = context.create_queue()
+    host = np.zeros(n * block, dtype=np.float32)
+    t0 = queue.now
+    for wid, data in enumerate(per_item_outputs):
+        buf = context.create_buffer(
+            f"gamma_wi{wid}", block * 4, MemFlag.WRITE_ONLY
+        )
+        # the kernel-side store is not billed here: both strategies share
+        # the same kernel, only the readback differs
+        buf.store(0, np.asarray(data, dtype=np.float32))
+        event = queue.enqueue_read_buffer(buf)
+        host[wid * block : (wid + 1) * block] = (
+            event.info["data"].view(np.float32)
+        )
+    return CombiningResult(
+        strategy="host_level",
+        host_array=host,
+        read_requests=n,
+        read_time_s=queue.now - t0,
+        device_buffers=n,
+        kernel_time_penalty=0.0,
+    )
+
+
+def combine_at_device_level(
+    context: Context, per_item_outputs: list[np.ndarray]
+) -> CombiningResult:
+    """Strategy III-E-2: one shared device buffer, a single read request."""
+    block = _check_inputs(per_item_outputs)
+    n = len(per_item_outputs)
+    queue = context.create_queue()
+    buf = context.create_buffer("gamma_all", n * block * 4, MemFlag.WRITE_ONLY)
+    for wid, data in enumerate(per_item_outputs):
+        # each work-item writes at its own blockOffset * wid (Listing 4)
+        buf.store(wid * block * 4, np.asarray(data, dtype=np.float32))
+    t0 = queue.now
+    event = queue.enqueue_read_buffer(buf)
+    host = event.info["data"].view(np.float32).copy()
+    return CombiningResult(
+        strategy="device_level",
+        host_array=host,
+        read_requests=1,
+        read_time_s=queue.now - t0,
+        device_buffers=1,
+        kernel_time_penalty=DEVICE_LEVEL_KERNEL_PENALTY,
+    )

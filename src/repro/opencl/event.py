@@ -1,0 +1,74 @@
+"""OpenCL events with profiling timestamps.
+
+The paper's power-measurement protocol leans on events: "the process of
+enqueuing the kernel is asynchronous from the host side, after some time
+the host will remain idle waiting for the cl_events to complete (one per
+kernel invocation)" (Section IV-F).  Events here carry the standard
+profiling quartet (queued / submit / start / end) on the simulated
+timeline, so both runtime tables and the power traces can be derived
+from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventStatus", "CommandType", "Event"]
+
+
+class EventStatus(enum.Enum):
+    QUEUED = "queued"
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+class CommandType(enum.Enum):
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    NDRANGE_KERNEL = "ndrange_kernel"
+    TASK = "task"
+    MARKER = "marker"
+
+
+@dataclass
+class Event:
+    """One enqueued command's lifecycle on the simulated timeline."""
+
+    command: CommandType
+    label: str = ""
+    status: EventStatus = EventStatus.QUEUED
+    time_queued: float = 0.0
+    time_submit: float | None = None
+    time_start: float | None = None
+    time_end: float | None = None
+    info: dict = field(default_factory=dict)
+
+    def complete(self, start: float, end: float) -> None:
+        """Mark execution over [start, end] (queue-internal use)."""
+        if end < start:
+            raise ValueError("event cannot end before it starts")
+        self.time_submit = self.time_submit if self.time_submit is not None else start
+        self.time_start = start
+        self.time_end = end
+        self.status = EventStatus.COMPLETE
+
+    @property
+    def duration(self) -> float:
+        """Execution time in seconds (CL_PROFILING start→end)."""
+        if self.status is not EventStatus.COMPLETE:
+            raise RuntimeError(f"event {self.label!r} has not completed")
+        return self.time_end - self.time_start
+
+    @property
+    def latency(self) -> float:
+        """Enqueue-to-completion time (includes queue wait)."""
+        if self.status is not EventStatus.COMPLETE:
+            raise RuntimeError(f"event {self.label!r} has not completed")
+        return self.time_end - self.time_queued
+
+    def __repr__(self) -> str:
+        return (
+            f"Event({self.command.value}, {self.label!r}, {self.status.value})"
+        )

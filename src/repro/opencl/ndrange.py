@@ -1,0 +1,93 @@
+"""NDRange index space: globalSize work-items grouped by localSize.
+
+Section II: "Kernels are enqueued by the host as a Task (basically a
+single-threaded kernel), or as an N-Dimensional Range (NDRange) with a
+defined number of work-items (globalSize) grouped into work-groups of
+localSize work-items."  The paper's experiments are one-dimensional
+(globalSize 65536, localSize 8/16/64 per platform), so this model keeps
+the 1-D case first-class while accepting up to 3 dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Iterator
+
+__all__ = ["NDRange"]
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A validated (global_size, local_size) pair, per dimension."""
+
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...]
+
+    def __init__(self, global_size, local_size):
+        gs = tuple(int(g) for g in _as_tuple(global_size))
+        ls = tuple(int(l) for l in _as_tuple(local_size))
+        if not 1 <= len(gs) <= 3:
+            raise ValueError("NDRange supports 1 to 3 dimensions")
+        if len(gs) != len(ls):
+            raise ValueError(
+                f"global ({len(gs)}-D) and local ({len(ls)}-D) ranks differ"
+            )
+        if any(g < 1 for g in gs) or any(l < 1 for l in ls):
+            raise ValueError("sizes must be positive")
+        for g, l in zip(gs, ls):
+            if g % l:
+                raise ValueError(
+                    f"global size {g} not divisible by local size {l} "
+                    "(OpenCL 1.x requirement SDAccel enforces)"
+                )
+        object.__setattr__(self, "global_size", gs)
+        object.__setattr__(self, "local_size", ls)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def total_work_items(self) -> int:
+        return prod(self.global_size)
+
+    @property
+    def work_group_size(self) -> int:
+        return prod(self.local_size)
+
+    @property
+    def num_work_groups(self) -> int:
+        return self.total_work_items // self.work_group_size
+
+    def work_groups(self) -> Iterator[tuple[int, ...]]:
+        """Iterate work-group ids (1-D fast path, row-major otherwise)."""
+        if self.dimensions == 1:
+            for g in range(self.num_work_groups):
+                yield (g,)
+            return
+        counts = [g // l for g, l in zip(self.global_size, self.local_size)]
+        idx = [0] * len(counts)
+        total = prod(counts)
+        for _ in range(total):
+            yield tuple(idx)
+            for d in range(len(counts) - 1, -1, -1):
+                idx[d] += 1
+                if idx[d] < counts[d]:
+                    break
+                idx[d] = 0
+
+    def partitions_per_group(self, partition_width: int) -> int:
+        """Hardware partitions a work-group occupies at a given width."""
+        if partition_width < 1:
+            raise ValueError("partition width must be >= 1")
+        return -(-self.work_group_size // partition_width)
+
+    def __repr__(self) -> str:
+        return f"NDRange(global={self.global_size}, local={self.local_size})"
+
+
+def _as_tuple(x) -> tuple:
+    if isinstance(x, (list, tuple)):
+        return tuple(x)
+    return (x,)

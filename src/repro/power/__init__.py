@@ -1,0 +1,38 @@
+"""System-level power and dynamic-energy modeling (Section IV-F).
+
+The paper measures power "at the power plug" of the whole workstation
+with a 1 sample/s multimeter, integrates a 100-second window of repeated
+kernel invocations, subtracts the idle floor (~204 W) and divides by the
+(non-integer) number of kernel repetitions — yielding the dynamic energy
+per invocation of Fig 9.
+
+* :mod:`repro.power.model` — wall-plug power as a function of the
+  activity timeline: idle floor + per-accelerator dynamic power + an
+  adaptive-cooling first-order lag,
+* :mod:`repro.power.meter` — the virtual Voltcraft VC870 (1 Hz sampler),
+* :mod:`repro.power.protocol` — the marker-based measurement procedure.
+"""
+
+from repro.power.model import (
+    DEVICE_DYNAMIC_POWER_W,
+    ActivityInterval,
+    PowerModel,
+)
+from repro.power.meter import PowerSample, VirtualMultimeter
+from repro.power.protocol import (
+    DynamicEnergyResult,
+    MeasurementProtocol,
+)
+from repro.power.campaign import CampaignResult, measure_campaign
+
+__all__ = [
+    "DEVICE_DYNAMIC_POWER_W",
+    "ActivityInterval",
+    "PowerModel",
+    "PowerSample",
+    "VirtualMultimeter",
+    "DynamicEnergyResult",
+    "MeasurementProtocol",
+    "CampaignResult",
+    "measure_campaign",
+]

@@ -1,0 +1,96 @@
+"""The full measurement campaign: all four platforms in one sitting.
+
+Section IV-F's methodology runs per device, "start[ing] from a
+workstation with all devices in idle mode".  A campaign models the
+whole lab session: for each host+accelerator setup in turn — idle
+lead-in, kernel repetitions past 150 s, cool-down back to idle — on one
+continuous wall-plug trace, then extracts each device's dynamic energy
+from its own window.  The cool-down gaps matter: they let the adaptive
+cooling settle so one device's fan tail does not pollute the next
+device's idle floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.meter import PowerSample, VirtualMultimeter
+from repro.power.model import ActivityInterval
+from repro.power.protocol import DynamicEnergyResult
+
+__all__ = ["CampaignResult", "measure_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """One continuous trace plus the per-device extractions."""
+
+    samples: list[PowerSample]
+    per_device: dict[str, DynamicEnergyResult]
+    activity: list[ActivityInterval]
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples[-1].time_s if self.samples else 0.0
+
+    def energies(self) -> dict[str, float]:
+        return {
+            dev: res.energy_per_invocation_j
+            for dev, res in self.per_device.items()
+        }
+
+    def most_efficient(self) -> str:
+        e = self.energies()
+        return min(e, key=e.get)
+
+
+def measure_campaign(
+    meter: VirtualMultimeter,
+    kernel_seconds: dict[str, float],
+    lead_in_s: float = 20.0,
+    min_active_s: float = 150.0,
+    window_s: float = 100.0,
+    cooldown_s: float = 40.0,
+) -> CampaignResult:
+    """Measure every device of ``kernel_seconds`` on one long trace.
+
+    Parameters
+    ----------
+    meter:
+        The virtual wall-plug sampler.
+    kernel_seconds:
+        Mapping device name -> single-invocation kernel runtime.
+    lead_in_s, min_active_s, window_s:
+        Per-device protocol parameters (Section IV-F).
+    cooldown_s:
+        Idle gap between devices for the cooling lag to settle.
+    """
+    if window_s <= 0 or min_active_s < window_s:
+        raise ValueError("need min_active_s >= window_s > 0")
+    activity: list[ActivityInterval] = []
+    windows: dict[str, tuple[float, float, float]] = {}
+    t = lead_in_s
+    for device, kernel_s in kernel_seconds.items():
+        if kernel_s <= 0:
+            raise ValueError(f"kernel runtime for {device!r} must be positive")
+        invocations = max(1, int(-(-min_active_s // kernel_s)))
+        start, end = t, t + invocations * kernel_s
+        activity.append(ActivityInterval(start, end, device))
+        windows[device] = (end - window_s, end, kernel_s)
+        t = end + cooldown_s
+    samples = meter.record(activity, t + 5.0)
+    per_device = {}
+    for device, (t0, t1, kernel_s) in windows.items():
+        total = meter.integrate(samples, t0, t1)
+        idle = meter.model.idle_w * window_s
+        per_device[device] = DynamicEnergyResult(
+            device=device,
+            kernel_seconds=kernel_s,
+            window_seconds=window_s,
+            invocations_in_window=window_s / kernel_s,
+            total_energy_j=total,
+            idle_energy_j=idle,
+        )
+    return CampaignResult(
+        samples=samples, per_device=per_device, activity=activity
+    )

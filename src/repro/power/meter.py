@@ -1,0 +1,96 @@
+"""The virtual Voltcraft VC870 digital multimeter.
+
+Section IV-F: "we have used a Voltcraft VC870 digital multimeter, which
+takes one sample per second.  This sample rate is enough in our case,
+provided the measurement time is kept high enough."  The virtual meter
+samples a :class:`~repro.power.model.PowerModel` trace at 1 Hz, with an
+optional deterministic measurement-noise term, and supports window
+integration the way the post-processing PC does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.model import ActivityInterval, PowerModel
+
+__all__ = ["PowerSample", "VirtualMultimeter"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One 1 Hz reading."""
+
+    time_s: float
+    watts: float
+
+
+class VirtualMultimeter:
+    """1 Hz wall-plug sampler over a power model.
+
+    Parameters
+    ----------
+    model:
+        The system power model.
+    sample_period_s:
+        1.0 for the VC870.
+    noise_w:
+        Std-dev of deterministic Gaussian measurement noise (0 = exact).
+    seed:
+        Noise seed (results are reproducible).
+    """
+
+    def __init__(
+        self,
+        model: PowerModel,
+        sample_period_s: float = 1.0,
+        noise_w: float = 0.0,
+        seed: int = 42,
+    ):
+        if sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        if noise_w < 0:
+            raise ValueError("noise must be >= 0")
+        self.model = model
+        self.sample_period_s = sample_period_s
+        self.noise_w = noise_w
+        self.seed = seed
+
+    def record(
+        self, activity: list[ActivityInterval], duration_s: float
+    ) -> list[PowerSample]:
+        """Sample the full measurement run."""
+        times, watts = self.model.trace(
+            activity, duration_s, dt_s=min(0.1, self.sample_period_s / 4)
+        )
+        sample_times = np.arange(0.0, duration_s, self.sample_period_s)
+        values = np.interp(sample_times, times, watts)
+        if self.noise_w > 0.0:
+            rng = np.random.default_rng(self.seed)
+            values = values + rng.normal(0.0, self.noise_w, values.size)
+        return [
+            PowerSample(float(t), float(w))
+            for t, w in zip(sample_times, values)
+        ]
+
+    @staticmethod
+    def integrate(
+        samples: list[PowerSample], t0: float, t1: float
+    ) -> float:
+        """Energy [J] of the samples inside [t0, t1] (trapezoidal).
+
+        This is the "conveniently stored and post-processed" step of the
+        paper's external PC.
+        """
+        if t1 <= t0:
+            raise ValueError("integration window must have positive length")
+        pts = [(s.time_s, s.watts) for s in samples if t0 <= s.time_s <= t1]
+        if len(pts) < 2:
+            raise ValueError(
+                "not enough samples in the window; record longer or widen it"
+            )
+        times = np.array([p[0] for p in pts])
+        watts = np.array([p[1] for p in pts])
+        return float(np.trapezoid(watts, times))

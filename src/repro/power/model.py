@@ -1,0 +1,110 @@
+"""Wall-plug power model of the Section IV-A workstation.
+
+Power at time t is
+
+    P(t) = P_idle + P_dyn(active device) + P_cool(t)
+
+* ``P_idle`` — the ~204 W floor of Fig 8 (all devices idle, fans at
+  baseline).
+* ``P_dyn`` — system-level dynamic power while an accelerator computes:
+  device silicon + host assist + PCIe + PSU conversion losses, lumped
+  per device.  The four constants are calibrated so that, combined with
+  the runtime model, the full Fig 9 ratio matrix reproduces (10 ratios
+  from 4 constants; see EXPERIMENTS.md).
+* ``P_cool`` — the workstation's cooling is "set to dynamically adapt to
+  the workload (optimal mode)": modeled as a first-order lag (time
+  constant ``cooling_tau_s``) toward ``cooling_fraction`` of the dynamic
+  power, which produces the rounded shoulders of the Fig 8 trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.paper import IDLE_POWER_W
+
+__all__ = ["ActivityInterval", "PowerModel", "DEVICE_DYNAMIC_POWER_W"]
+
+#: System-level dynamic power [W] while the named accelerator runs the
+#: kernel.  Calibrated against the Fig 9 ratio matrix (the FPGA's low
+#: draw combined with its runtime is what yields the 9.5x headline).
+DEVICE_DYNAMIC_POWER_W: dict[str, float] = {
+    "CPU": 100.0,
+    "GPU": 125.0,
+    "PHI": 165.0,
+    "FPGA": 55.0,
+}
+
+#: Host-side enqueue/polling overhead while a kernel sequence is active.
+HOST_ACTIVE_W = 12.0
+
+
+@dataclass(frozen=True)
+class ActivityInterval:
+    """One span of accelerator activity on the timeline."""
+
+    start_s: float
+    end_s: float
+    device: str
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError("activity interval must have positive length")
+        if self.device not in DEVICE_DYNAMIC_POWER_W:
+            raise ValueError(
+                f"unknown device {self.device!r}; "
+                f"known: {sorted(DEVICE_DYNAMIC_POWER_W)}"
+            )
+
+
+@dataclass
+class PowerModel:
+    """Wall-plug power over an activity timeline."""
+
+    idle_w: float = IDLE_POWER_W
+    dynamic_w: dict = field(
+        default_factory=lambda: dict(DEVICE_DYNAMIC_POWER_W)
+    )
+    host_active_w: float = HOST_ACTIVE_W
+    cooling_fraction: float = 0.12
+    cooling_tau_s: float = 8.0
+
+    def instantaneous_dynamic(
+        self, t: float, activity: list[ActivityInterval]
+    ) -> float:
+        """Dynamic (device + host) power at time t, without cooling lag."""
+        for iv in activity:
+            if iv.start_s <= t < iv.end_s:
+                return self.dynamic_w[iv.device] + self.host_active_w
+        return 0.0
+
+    def trace(
+        self,
+        activity: list[ActivityInterval],
+        duration_s: float,
+        dt_s: float = 0.1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (times, watts) trace including the cooling lag."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        times = np.arange(0.0, duration_s, dt_s)
+        dyn = np.array(
+            [self.instantaneous_dynamic(t, activity) for t in times]
+        )
+        cooling = np.zeros_like(dyn)
+        target = self.cooling_fraction * dyn
+        alpha = dt_s / self.cooling_tau_s
+        level = 0.0
+        for i in range(times.size):
+            level += alpha * (target[i] - level)
+            cooling[i] = level
+        return times, self.idle_w + dyn + cooling
+
+    def steady_state_power(self, device: str) -> float:
+        """Plateau power while ``device`` computes continuously."""
+        dyn = self.dynamic_w[device] + self.host_active_w
+        return self.idle_w + dyn * (1.0 + self.cooling_fraction)

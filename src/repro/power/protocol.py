@@ -1,0 +1,113 @@
+"""The paper's dynamic-energy measurement protocol (Section IV-F).
+
+Procedure, exactly as described:
+
+1. start from the fully idle workstation (lead-in),
+2. the host triggers the kernel at the first marker and keeps enqueuing
+   it back-to-back "in order to reach over 150 seconds",
+3. only the final 100-second interval between the last two markers is
+   integrated (the host is by then idle, asynchronously waiting on the
+   cl_events),
+4. the idle energy (idle power x window) is subtracted, giving the
+   system-level *dynamic* energy,
+5. dividing by the number of kernel repetitions inside the window — "no
+   longer an integer value" — gives the dynamic energy per invocation
+   (Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.meter import VirtualMultimeter
+from repro.power.model import ActivityInterval
+
+__all__ = ["DynamicEnergyResult", "MeasurementProtocol"]
+
+
+@dataclass(frozen=True)
+class DynamicEnergyResult:
+    """Outcome of one measurement run."""
+
+    device: str
+    kernel_seconds: float
+    window_seconds: float
+    invocations_in_window: float  # non-integer by design
+    total_energy_j: float
+    idle_energy_j: float
+
+    @property
+    def dynamic_energy_j(self) -> float:
+        return self.total_energy_j - self.idle_energy_j
+
+    @property
+    def energy_per_invocation_j(self) -> float:
+        """The Fig 9 quantity."""
+        return self.dynamic_energy_j / self.invocations_in_window
+
+    @property
+    def average_dynamic_power_w(self) -> float:
+        return self.dynamic_energy_j / self.window_seconds
+
+
+class MeasurementProtocol:
+    """Runs the Section IV-F procedure on a virtual meter.
+
+    Parameters
+    ----------
+    meter:
+        The 1 Hz sampler over a power model.
+    lead_in_s:
+        Idle time before the first marker.
+    min_active_s:
+        Kernel enqueues continue until at least this much activity
+        ("over 150 seconds").
+    window_s:
+        Integration window, anchored at the end of the activity.
+    """
+
+    def __init__(
+        self,
+        meter: VirtualMultimeter,
+        lead_in_s: float = 20.0,
+        min_active_s: float = 150.0,
+        window_s: float = 100.0,
+    ):
+        if window_s <= 0 or min_active_s < window_s:
+            raise ValueError(
+                "need min_active_s >= window_s > 0 for a valid measurement"
+            )
+        self.meter = meter
+        self.lead_in_s = lead_in_s
+        self.min_active_s = min_active_s
+        self.window_s = window_s
+
+    def measure(self, device: str, kernel_seconds: float) -> DynamicEnergyResult:
+        """Measure the dynamic energy per invocation of one kernel."""
+        if kernel_seconds <= 0:
+            raise ValueError("kernel runtime must be positive")
+        invocations = max(1, int(-(-self.min_active_s // kernel_seconds)))
+        active_start = self.lead_in_s
+        active_end = active_start + invocations * kernel_seconds
+        # back-to-back invocations form one contiguous activity block;
+        # cl_event boundaries do not gap the device
+        activity = [ActivityInterval(active_start, active_end, device)]
+        duration = active_end + 5.0
+        samples = self.meter.record(activity, duration)
+        t1 = active_end
+        t0 = t1 - self.window_s
+        if t0 < active_start:
+            raise ValueError(
+                "activity shorter than the integration window; raise "
+                "min_active_s"
+            )
+        total = self.meter.integrate(samples, t0, t1)
+        idle = self.meter.model.idle_w * self.window_s
+        return DynamicEnergyResult(
+            device=device,
+            kernel_seconds=kernel_seconds,
+            window_seconds=self.window_s,
+            invocations_in_window=self.window_s / kernel_seconds,
+            total_energy_j=total,
+            idle_energy_j=idle,
+        )

@@ -1,0 +1,37 @@
+"""FPGA resource model: Table II and the work-item count search.
+
+"For our final FPGA implementations we have iteratively increased the
+number of parallel work-items in steps of one, as far as the
+place-and-route process allowed.  Table II shows that in all cases the
+design is limited by the number of slices" (Section IV-C).
+
+* :mod:`repro.resources.blocks` — per-block slice/DSP/BRAM vectors,
+* :mod:`repro.resources.model` — the device budget, per-configuration
+  estimates and the iterative work-item search.
+"""
+
+from repro.resources.blocks import BLOCK_COSTS, ResourceVector, work_item_cost
+from repro.resources.model import (
+    DEVICE_BUDGET,
+    STATIC_REGION,
+    PlacementResult,
+    ResourceModel,
+)
+from repro.resources.timing import (
+    FrequencyPoint,
+    TimingModel,
+    frequency_aware_work_items,
+)
+
+__all__ = [
+    "ResourceVector",
+    "BLOCK_COSTS",
+    "work_item_cost",
+    "ResourceModel",
+    "PlacementResult",
+    "DEVICE_BUDGET",
+    "STATIC_REGION",
+    "TimingModel",
+    "FrequencyPoint",
+    "frequency_aware_work_items",
+]

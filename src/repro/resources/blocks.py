@@ -1,0 +1,93 @@
+"""Per-block FPGA resource vectors.
+
+Each hardware block of the Fig 4 pipeline carries a (slices, DSP,
+BRAM36) cost, sized from the block's arithmetic content (floating-point
+cores dominate DSPs, state arrays and ROMs dominate BRAM, control and
+bit logic dominate slices).  The vectors are fitted so the composed
+design reproduces Table II within ±1 % absolute utilization — the
+linear composition cannot be exact because real place-and-route packing
+varies run to run (the paper's own Config1/2 and Config3/4 deltas are
+mutually inconsistent under any per-block linear model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceVector", "BLOCK_COSTS", "work_item_cost"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Slice / DSP / BRAM36 triple with vector arithmetic."""
+
+    slices: float = 0.0
+    dsp: float = 0.0
+    bram: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.slices + other.slices,
+            self.dsp + other.dsp,
+            self.bram + other.bram,
+        )
+
+    def __mul__(self, k: float) -> "ResourceVector":
+        return ResourceVector(self.slices * k, self.dsp * k, self.bram * k)
+
+    __rmul__ = __mul__
+
+    def fits_within(self, budget: "ResourceVector") -> bool:
+        return (
+            self.slices <= budget.slices
+            and self.dsp <= budget.dsp
+            and self.bram <= budget.bram
+        )
+
+
+#: block-level resource costs (one instance each)
+BLOCK_COSTS: dict[str, ResourceVector] = {
+    # Mersenne-Twisters: state array in one BRAM, twist+temper in LUTs
+    "mt19937": ResourceVector(slices=254, dsp=0, bram=1.0),
+    "mt521": ResourceVector(slices=234, dsp=0, bram=1.0),
+    # Marsaglia-Bray polar core: fp32 log, sqrt, divide, multipliers
+    "marsaglia_bray": ResourceVector(slices=1800, dsp=60, bram=0.0),
+    # bit-level ICDF: LZC + field extract in LUTs, coefficient ROM in
+    # BRAM, fixed-point MAC in DSPs
+    "icdf_bitlevel": ResourceVector(slices=343, dsp=15, bram=5.5),
+    # Marsaglia-Tsang core incl. the u**(1/alpha) correction (exp+log)
+    "gamma_core": ResourceVector(slices=2500, dsp=78, bram=0.0),
+    # Listing 4: packing registers, transfBuf, AXI burst engine
+    "transfer_engine": ResourceVector(slices=900, dsp=0, bram=4.0),
+    # hls::stream FIFO between GammaRNG and Transfer
+    "stream_fifo": ResourceVector(slices=50, dsp=0, bram=0.5),
+    # loop control, delayed counter, flag plumbing
+    "control": ResourceVector(slices=300, dsp=4, bram=0.0),
+}
+
+
+def work_item_cost(transform: str, mt: str) -> ResourceVector:
+    """Resource cost of ONE decoupled work-item (compute + transfer).
+
+    Parameters
+    ----------
+    transform:
+        ``"marsaglia_bray"`` (uses 2 normal-path twisters) or ``"icdf"``
+        (uses 1).
+    mt:
+        ``"mt19937"`` or ``"mt521"`` (Table I column 3).
+    """
+    if mt not in ("mt19937", "mt521"):
+        raise ValueError(f"unknown twister {mt!r}")
+    mt_cost = BLOCK_COSTS[mt]
+    total = BLOCK_COSTS["gamma_core"] + BLOCK_COSTS["transfer_engine"]
+    total = total + BLOCK_COSTS["stream_fifo"] + BLOCK_COSTS["control"]
+    if transform == "marsaglia_bray":
+        # 2 twisters feed the polar method + rejection + correction = 4
+        total = total + BLOCK_COSTS["marsaglia_bray"] + 4 * mt_cost
+    elif transform == "icdf":
+        # 1 twister feeds the ICDF + rejection + correction = 3
+        total = total + BLOCK_COSTS["icdf_bitlevel"] + 3 * mt_cost
+    else:
+        raise ValueError(f"unknown transform {transform!r}")
+    return total

@@ -1,0 +1,138 @@
+"""Device budget, utilization estimates and the work-item search.
+
+The XC7VX690T budget comes straight from Table II's "Available" column.
+The device splits into a static region (PCIe/DMA shell) and the
+reconfigurable OCL region holding the kernel; the paper estimates the
+OCL region at "approx. 2/3 of the total resources" and the corrected
+slice utilization at ~80 %, i.e. designs stop routing well before the
+raw slice count runs out.  The model captures that with a
+``routing_limit`` on whole-device slice utilization: the iterative
+work-item search adds pipelines until the next one would cross it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paper import TABLE2_UTILIZATION
+from repro.resources.blocks import ResourceVector, work_item_cost
+
+__all__ = ["DEVICE_BUDGET", "STATIC_REGION", "ResourceModel", "PlacementResult"]
+
+#: XC7VX690T totals (Table II "Available"; BRAM counted as BRAM36).
+DEVICE_BUDGET = ResourceVector(
+    slices=TABLE2_UTILIZATION["available"]["Slice"],
+    dsp=TABLE2_UTILIZATION["available"]["DSP"],
+    bram=TABLE2_UTILIZATION["available"]["BRAM"],
+)
+
+#: Static region (PCIe endpoint, DMA, memory controller shell).  Sized so
+#: the composed Config1-4 utilization reproduces Table II.
+STATIC_REGION = ResourceVector(slices=18_000, dsp=0, bram=248.0)
+
+#: Whole-device slice utilization beyond which place-and-route fails —
+#: ~80 % of the 2/3-of-device OCL region plus the static region.
+ROUTING_LIMIT_FRACTION = 0.55
+
+#: Table I configuration -> (transform, twister) pairs.
+CONFIG_BLOCKS = {
+    "Config1": ("marsaglia_bray", "mt19937"),
+    "Config2": ("marsaglia_bray", "mt521"),
+    "Config3": ("icdf", "mt19937"),
+    "Config4": ("icdf", "mt521"),
+}
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of estimating one design point."""
+
+    config: str
+    n_work_items: int
+    totals: ResourceVector
+    routable: bool
+
+    def utilization_percent(self) -> dict[str, float]:
+        """Whole-device utilization, Table II units."""
+        return {
+            "Slice": 100.0 * self.totals.slices / DEVICE_BUDGET.slices,
+            "DSP": 100.0 * self.totals.dsp / DEVICE_BUDGET.dsp,
+            "BRAM": 100.0 * self.totals.bram / DEVICE_BUDGET.bram,
+        }
+
+    @property
+    def limiting_resource(self) -> str:
+        """The resource closest to its budget (paper: always slices,
+        via the routing limit)."""
+        util = {
+            "Slice": self.totals.slices
+            / (DEVICE_BUDGET.slices * ROUTING_LIMIT_FRACTION),
+            "DSP": self.totals.dsp / DEVICE_BUDGET.dsp,
+            "BRAM": self.totals.bram / DEVICE_BUDGET.bram,
+        }
+        return max(util, key=util.get)
+
+
+class ResourceModel:
+    """Estimates utilization and searches the max work-item count."""
+
+    def __init__(
+        self,
+        static_region: ResourceVector = STATIC_REGION,
+        budget: ResourceVector = DEVICE_BUDGET,
+        routing_limit: float = ROUTING_LIMIT_FRACTION,
+    ):
+        if not 0.0 < routing_limit <= 1.0:
+            raise ValueError("routing limit must lie in (0, 1]")
+        self.static_region = static_region
+        self.budget = budget
+        self.routing_limit = routing_limit
+
+    def _blocks(self, config: str) -> ResourceVector:
+        try:
+            transform, mt = CONFIG_BLOCKS[config]
+        except KeyError:
+            raise KeyError(
+                f"unknown configuration {config!r}; "
+                f"known: {sorted(CONFIG_BLOCKS)}"
+            ) from None
+        return work_item_cost(transform, mt)
+
+    def estimate(self, config: str, n_work_items: int) -> PlacementResult:
+        """Utilization of ``config`` with ``n_work_items`` pipelines."""
+        if n_work_items < 1:
+            raise ValueError("need at least one work-item")
+        totals = self.static_region + n_work_items * self._blocks(config)
+        routable = (
+            totals.slices <= self.budget.slices * self.routing_limit
+            and totals.fits_within(self.budget)
+        )
+        return PlacementResult(
+            config=config,
+            n_work_items=n_work_items,
+            totals=totals,
+            routable=routable,
+        )
+
+    def max_work_items(self, config: str, hard_cap: int = 64) -> PlacementResult:
+        """The paper's iterative search: grow by one until P&R fails."""
+        best: PlacementResult | None = None
+        for n in range(1, hard_cap + 1):
+            candidate = self.estimate(config, n)
+            if not candidate.routable:
+                break
+            best = candidate
+        if best is None:
+            raise RuntimeError(
+                f"even a single work-item of {config} does not route"
+            )
+        return best
+
+    def table2(self) -> dict[str, dict[str, float]]:
+        """Regenerate Table II: utilization at each config's max N."""
+        out = {}
+        for config in CONFIG_BLOCKS:
+            placement = self.max_work_items(config)
+            out[config] = placement.utilization_percent()
+            out[config]["work_items"] = placement.n_work_items
+        return out

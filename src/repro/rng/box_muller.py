@@ -1,0 +1,31 @@
+"""Box-Muller transform — the trigonometric baseline (Section II-D2).
+
+The paper cites Box-Muller as the "well-known" method whose "heavy
+trigonometric math operations" the Marsaglia-Bray method avoids.  It is
+included as a reference transform: rejection-free, but each output costs
+a ``log``, a ``sqrt`` and a ``sin``/``cos`` — the cost trade-off our
+device models can quantify.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def box_muller_pair(u1: float, u2: float) -> tuple[float, float]:
+    """Two independent standard normals from two uniforms in (0, 1)."""
+    if not (0.0 < u1 < 1.0):
+        raise ValueError(f"u1 must lie in (0, 1), got {u1}")
+    radius = math.sqrt(-2.0 * math.log(u1))
+    angle = 2.0 * math.pi * u2
+    return radius * math.cos(angle), radius * math.sin(angle)
+
+
+def box_muller(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+    """Vectorized Box-Muller: one normal per (u1, u2) pair (cosine branch)."""
+    u1 = np.asarray(u1, dtype=np.float64)
+    u2 = np.asarray(u2, dtype=np.float64)
+    radius = np.sqrt(-2.0 * np.log(u1))
+    return (radius * np.cos(2.0 * np.pi * u2)).astype(np.float32)

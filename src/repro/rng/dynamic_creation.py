@@ -1,0 +1,236 @@
+"""Dynamic creation of Mersenne-Twister parameter sets.
+
+Reimplementation of the *Dynamic Creation* idea of Matsumoto & Nishimura
+(paper ref [18]): search for a twist coefficient ``a`` (and middle offset
+``m``) such that the characteristic polynomial of the MT recurrence is
+primitive over GF(2), giving the maximal period ``2**p - 1``.
+
+The paper's Table I uses two exponents, 19937 and 521.  For both, ``2**p - 1``
+is a *Mersenne prime*, so an irreducible characteristic polynomial is
+automatically primitive — which is exactly why those exponents are the
+convenient choices for dynamic creation.
+
+Search procedure per candidate ``(m, a)``:
+
+1. Run the untempered recurrence from a fixed pseudo-random nonzero state
+   and record ``2*p`` output bits (the LSB of each new word) — tempering
+   is a bijection on outputs and does not affect the period.
+2. Berlekamp-Massey the bit sequence to recover the minimal polynomial of
+   the projected orbit; for a maximal-period twister this equals the full
+   degree-``p`` characteristic polynomial.
+3. If the degree is ``p``, verify irreducibility (Rabin's test).  With
+   ``2**p - 1`` prime, irreducibility implies primitivity.
+
+The verified exponent-521 parameter set shipped as
+``repro.rng.mersenne.MT521_PARAMS`` was produced by this search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import gf2
+from repro.rng.mersenne import MT19937_PARAMS, MTParams
+
+__all__ = ["layout_for_exponent", "min_poly_of_recurrence", "check_period",
+           "find_mt_params", "find_mt_family", "SearchResult",
+           "MERSENNE_PRIME_EXPONENTS"]
+
+#: Mersenne-prime exponents up to 19937 — for these, irreducible == primitive.
+MERSENNE_PRIME_EXPONENTS = frozenset(
+    {2, 3, 5, 7, 13, 17, 19, 31, 61, 89, 107, 127, 521, 607, 1279, 2203,
+     2281, 3217, 4253, 4423, 9689, 9941, 11213, 19937}
+)
+
+
+def layout_for_exponent(exponent: int, w: int = 32) -> tuple[int, int]:
+    """Derive the (n, r) state layout with ``n*w - r == exponent``.
+
+    Chooses the minimal number of words n = ceil(exponent / w); the split
+    point r absorbs the remainder.  Raises if no valid r < w exists.
+    """
+    if exponent < 2:
+        raise ValueError("exponent must be >= 2")
+    n = -(-exponent // w)
+    r = n * w - exponent
+    if not 0 <= r < w:
+        raise ValueError(f"no (n, r) layout for exponent {exponent} at w={w}")
+    if n < 2:
+        # the three-term MT recurrence needs at least two state words
+        n += 1
+        r += w
+        if r >= w:
+            raise ValueError(
+                f"exponent {exponent} too small for a width-{w} twister"
+            )
+    return n, r
+
+
+def _lcg_stream(seed: int):
+    """Deterministic 32-bit candidate stream (Numerical-Recipes LCG)."""
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (1664525 * state + 1013904223) & 0xFFFFFFFF
+        yield state
+
+
+def min_poly_of_recurrence(
+    w: int, n: int, m: int, r: int, a: int, state_seed: int = 0x12345
+) -> int:
+    """Minimal polynomial of the (untempered) MT recurrence via B-M.
+
+    Runs the raw recurrence for ``2*p`` steps and feeds the LSBs of the
+    produced words to Berlekamp-Massey.
+    """
+    p = n * w - r
+    mask = (1 << w) - 1
+    upper = (mask << r) & mask
+    lower = (1 << r) - 1
+    # fixed pseudo-random nonzero initial state (generic projection)
+    gen = _lcg_stream(state_seed)
+    x = [next(gen) for _ in range(n)]
+    bits = []
+    i = 0
+    for _ in range(2 * p):
+        y = (x[i] & upper) | (x[(i + 1) % n] & lower)
+        xa = x[(i + m) % n] ^ (y >> 1) ^ (a if (y & 1) else 0)
+        x[i] = xa
+        bits.append(xa & 1)
+        i = (i + 1) % n
+    return gf2.berlekamp_massey(bits)
+
+
+def check_period(
+    w: int, n: int, m: int, r: int, a: int, state_seed: int = 0x12345
+) -> bool:
+    """True if the recurrence achieves the maximal period ``2**(n*w-r) - 1``.
+
+    Only valid when the exponent is a Mersenne-prime exponent (asserted),
+    since primitivity is then equivalent to irreducibility.
+    """
+    p = n * w - r
+    if p not in MERSENNE_PRIME_EXPONENTS:
+        raise ValueError(
+            f"exponent {p} is not a Mersenne-prime exponent; "
+            "primitivity testing would need the factorization of 2**p - 1"
+        )
+    charpoly = min_poly_of_recurrence(w, n, m, r, a, state_seed)
+    if gf2.degree(charpoly) != p:
+        return False
+    return gf2.is_irreducible(charpoly)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a dynamic-creation search."""
+
+    params: MTParams
+    candidates_tried: int
+
+
+def find_mt_params(
+    exponent: int,
+    w: int = 32,
+    seed: int = 4357,
+    max_candidates: int = 20000,
+) -> SearchResult:
+    """Search for a maximal-period MT parameter set with the given exponent.
+
+    Iterates deterministic 32-bit candidates for the twist coefficient
+    ``a`` over a spread of middle offsets ``m``, verifying each with
+    :func:`check_period`.  Tempering parameters are taken from MT19937
+    (they do not affect the period).
+
+    Parameters
+    ----------
+    exponent:
+        Desired Mersenne-prime exponent (e.g. 521).
+    seed:
+        Seed of the deterministic candidate stream — same seed, same
+        resulting parameter set.
+    max_candidates:
+        Abort threshold.
+
+    Returns
+    -------
+    SearchResult with the found :class:`MTParams`.
+    """
+    n, r = layout_for_exponent(exponent, w)
+    gen = _lcg_stream(seed)
+    # prefer offsets near n/2 (dcmt's heuristic), then fan out
+    mid = max(1, n // 2)
+    offsets = sorted(range(1, n), key=lambda m: abs(m - mid))
+    tried = 0
+    while tried < max_candidates:
+        a = next(gen) | (1 << (w - 1))  # high twist bit set, as in MT19937
+        for m in offsets:
+            tried += 1
+            if check_period(w, n, m, r, a):
+                params = MTParams(
+                    w=w, n=n, m=m, r=r, a=a,
+                    u=MT19937_PARAMS.u, d=MT19937_PARAMS.d,
+                    s=MT19937_PARAMS.s, b=MT19937_PARAMS.b,
+                    t=MT19937_PARAMS.t, c=MT19937_PARAMS.c,
+                    l=MT19937_PARAMS.l,
+                )
+                return SearchResult(params=params, candidates_tried=tried)
+            if tried >= max_candidates:
+                break
+    raise RuntimeError(
+        f"no primitive parameter set found within {max_candidates} candidates"
+    )
+
+
+def find_mt_family(
+    exponent: int,
+    count: int,
+    w: int = 32,
+    seed: int = 4357,
+    max_candidates: int = 200_000,
+) -> list[MTParams]:
+    """Create ``count`` *distinct* maximal-period twisters (ref [18]).
+
+    The point of dynamic creation in the paper's context (§II-D2: "the
+    two input sequences can be split into two parallel Mersenne-Twisters
+    following [18]") is that parallel streams come from *different
+    characteristic polynomials*, not just different seeds — their state
+    recurrences are then provably distinct linear systems.
+
+    Returns parameter sets with pairwise distinct twist coefficients
+    (hence distinct characteristic polynomials for the fixed layout).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    n, r = layout_for_exponent(exponent, w)
+    gen = _lcg_stream(seed)
+    mid = max(1, n // 2)
+    offsets = sorted(range(1, n), key=lambda m: abs(m - mid))
+    family: list[MTParams] = []
+    seen: set[tuple[int, int]] = set()
+    tried = 0
+    while len(family) < count and tried < max_candidates:
+        a = next(gen) | (1 << (w - 1))
+        for m in offsets:
+            tried += 1
+            if (a, m) in seen:
+                continue
+            if check_period(w, n, m, r, a):
+                seen.add((a, m))
+                family.append(
+                    MTParams(
+                        w=w, n=n, m=m, r=r, a=a,
+                        u=MT19937_PARAMS.u, d=MT19937_PARAMS.d,
+                        s=MT19937_PARAMS.s, b=MT19937_PARAMS.b,
+                        t=MT19937_PARAMS.t, c=MT19937_PARAMS.c,
+                        l=MT19937_PARAMS.l,
+                    )
+                )
+                break  # one member per candidate a keeps the a's distinct
+            if tried >= max_candidates:
+                break
+    if len(family) < count:
+        raise RuntimeError(
+            f"found only {len(family)}/{count} members within "
+            f"{max_candidates} candidates"
+        )
+    return family

@@ -1,0 +1,233 @@
+"""GF(2) polynomial arithmetic and Berlekamp-Massey.
+
+Support code for the "dynamic creation" of Mersenne-Twister parameter sets
+(paper reference [18], Matsumoto & Nishimura): verifying that a candidate
+MT recurrence has maximal period requires the characteristic polynomial of
+its linear transition map and a primitivity test over GF(2).
+
+Polynomials are represented as plain Python ints: bit ``i`` of the int is
+the coefficient of ``x**i``.  Python's arbitrary-precision integers make
+XOR-based polynomial addition and shift-based multiplication both compact
+and fast, in the spirit of the bit-level thinking of the paper's FPGA
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def degree(p: int) -> int:
+    """Degree of polynomial ``p`` (-1 for the zero polynomial)."""
+    return p.bit_length() - 1
+
+
+def mul(a: int, b: int) -> int:
+    """Carry-less (GF(2)) polynomial multiplication."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def mod(a: int, m: int) -> int:
+    """Polynomial remainder ``a mod m``."""
+    if m == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    dm = degree(m)
+    da = degree(a)
+    while da >= dm:
+        a ^= m << (da - dm)
+        da = degree(a)
+    return a
+
+
+def divmod_poly(a: int, m: int) -> tuple[int, int]:
+    """Polynomial quotient and remainder."""
+    if m == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    dm = degree(m)
+    q = 0
+    da = degree(a)
+    while da >= dm:
+        shift = da - dm
+        q |= 1 << shift
+        a ^= m << shift
+        da = degree(a)
+    return q, a
+
+
+def mulmod(a: int, b: int, m: int) -> int:
+    """``(a * b) mod m`` over GF(2)."""
+    return mod(mul(a, b), m)
+
+
+# byte -> 16-bit zero-interleaved spread, precomputed once; lets square_mod
+# process 8 coefficient bits per iteration instead of one
+_SPREAD = [
+    sum(((b >> i) & 1) << (2 * i) for i in range(8)) for b in range(256)
+]
+
+
+def square(a: int) -> int:
+    """``a**2`` over GF(2): interleave a zero between every coefficient bit."""
+    s = 0
+    shift = 0
+    while a:
+        s |= _SPREAD[a & 0xFF] << shift
+        a >>= 8
+        shift += 16
+    return s
+
+
+def square_mod(a: int, m: int) -> int:
+    """``a**2 mod m``; squaring over GF(2) just spreads the bits."""
+    return mod(square(a), m)
+
+
+def powmod(a: int, e: int, m: int) -> int:
+    """``a**e mod m`` by square-and-multiply."""
+    result = 1
+    a = mod(a, m)
+    while e:
+        if e & 1:
+            result = mulmod(result, a, m)
+        a = square_mod(a, m)
+        e >>= 1
+    return result
+
+
+def gcd(a: int, b: int) -> int:
+    """Polynomial GCD over GF(2)."""
+    while b:
+        a, b = b, mod(a, b)
+    return a
+
+
+def x_pow_2k_mod(m: int, k: int) -> int:
+    """Compute ``x**(2**k) mod m`` with k successive squarings.
+
+    This is the workhorse of the irreducibility test: for degree-n moduli
+    it needs only ``k`` squarings instead of ``2**k`` multiplies.
+    """
+    r = mod(0b10, m)  # the polynomial x
+    for _ in range(k):
+        r = square_mod(r, m)
+    return r
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin irreducibility test for ``f`` over GF(2).
+
+    ``f`` of degree n is irreducible iff ``x**(2**n) == x (mod f)`` and
+    ``gcd(x**(2**(n/q)) - x, f) == 1`` for every prime divisor ``q`` of n.
+    """
+    n = degree(f)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    if f & 1 == 0:  # divisible by x
+        return False
+    for q in _prime_divisors(n):
+        h = x_pow_2k_mod(f, n // q) ^ 0b10  # x**(2**(n/q)) - x
+        if gcd(h, f) != 1:
+            return False
+    return x_pow_2k_mod(f, n) == 0b10
+
+
+def is_primitive(f: int, factors_of_order: Sequence[int] | None = None) -> bool:
+    """Primitivity test for an irreducible ``f`` of degree n.
+
+    ``f`` is primitive iff the order of x modulo f is ``2**n - 1``; given
+    the prime ``factors_of_order`` of ``2**n - 1`` the test checks
+    ``x**((2**n - 1)/p) != 1`` for each.  When ``2**n - 1`` is itself a
+    Mersenne prime (true for the exponents 521 and 19937 used by the
+    paper's two Mersenne-Twisters), irreducibility alone implies
+    primitivity and ``factors_of_order`` may be omitted.
+    """
+    if not is_irreducible(f):
+        return False
+    n = degree(f)
+    order = (1 << n) - 1
+    if factors_of_order is None:
+        # caller asserts 2**n - 1 is prime (Mersenne prime exponent)
+        return True
+    for p in factors_of_order:
+        if powmod(0b10, order // p, f) == 1:
+            return False
+    return True
+
+
+def berlekamp_massey(bits: Sequence[int]) -> int:
+    """Minimal LFSR (connection polynomial) of a GF(2) sequence.
+
+    Returns the minimal polynomial C(x) with C(0)=1 such that the sequence
+    satisfies ``sum_j c_j s_{i-j} = 0``.  Feeding 2n bits of a projected
+    state sequence of an n-dimensional GF(2) linear map recovers its
+    minimal polynomial — which for a maximal-period Mersenne-Twister equals
+    the full characteristic polynomial.
+    """
+    c = 1  # connection polynomial C(x)
+    b = 1  # previous C before last length change
+    l = 0  # current LFSR length
+    m = -1  # index of last length change
+    window = 0  # bit j holds s_{i-j}; updated incrementally each step
+    for i, s in enumerate(bits):
+        window = (window << 1) | (s & 1)
+        # discrepancy: s_i + sum_{j=1..l} c_j * s_{i-j} = parity(c & window)
+        d = (c & window).bit_count() & 1
+        if d:
+            t = c
+            c ^= b << (i - m)
+            if 2 * l <= i:
+                l = i + 1 - l
+                m = i
+                b = t
+    return c
+
+
+def min_poly_of_map(
+    step: Callable[[object], object],
+    project: Callable[[object], int],
+    state0: object,
+    dim: int,
+) -> int:
+    """Minimal polynomial of a linear map via Berlekamp-Massey.
+
+    Parameters
+    ----------
+    step:
+        The linear transition function (state -> state).
+    project:
+        A linear functional state -> GF(2) bit.
+    state0:
+        A starting state (should be "generic"; a nonzero random state
+        almost always yields the full minimal polynomial).
+    dim:
+        Dimension of the state space over GF(2); 2*dim output bits are fed
+        to Berlekamp-Massey.
+    """
+    bits = []
+    s = state0
+    for _ in range(2 * dim):
+        bits.append(project(s) & 1)
+        s = step(s)
+    return berlekamp_massey(bits)
+
+
+def _prime_divisors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out

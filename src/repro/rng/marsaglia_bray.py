@@ -1,0 +1,135 @@
+"""Marsaglia-Bray (polar) rejection method: uniform → normal.
+
+Section II-D2: the Marsaglia-Bray method avoids the trigonometry of
+Box-Muller but "its rejection rate becomes a challenge in terms of
+implementation, and it also needs two input uniform RNs to generate one
+output".  A candidate point (u1, u2) in the square (-1,1)² is accepted
+when it falls inside the unit disc; the acceptance probability is π/4.
+
+Two call styles are provided, matching how the two platform families
+consume the algorithm:
+
+* :func:`marsaglia_bray_attempt` — a *single pipelined attempt* returning
+  ``(value, valid)``, the shape the FPGA kernel needs (Listing 2's
+  ``bool n0_valid = M_Bray(&n0, MT0(true, ...))``), and
+* :func:`marsaglia_bray_normals` — a vectorized numpy batch generator
+  used by the fixed-architecture models and the statistical validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rng.mersenne import MersenneTwister
+from repro.rng.uniform import uint_to_symmetric
+
+#: Acceptance probability of the polar rejection step (area of unit disc
+#: over area of the enclosing square).
+POLAR_ACCEPTANCE = math.pi / 4.0
+
+
+def marsaglia_bray_attempt(u1: float, u2: float) -> tuple[float, bool]:
+    """One polar-method attempt from two uniforms in (-1, 1).
+
+    Returns ``(normal, valid)``.  On rejection (point outside the unit
+    disc, or the degenerate origin) the returned value is 0.0 and
+    ``valid`` is False — the pipeline always produces *something* every
+    cycle; validity is tracked out-of-band, exactly as in Listing 2.
+    """
+    s = u1 * u1 + u2 * u2
+    if s >= 1.0 or s == 0.0:
+        return 0.0, False
+    factor = math.sqrt(-2.0 * math.log(s) / s)
+    return u1 * factor, True
+
+
+def marsaglia_bray_pair(u1: float, u2: float) -> tuple[float, float, bool]:
+    """Polar attempt keeping both antithetic outputs (classic formulation)."""
+    s = u1 * u1 + u2 * u2
+    if s >= 1.0 or s == 0.0:
+        return 0.0, 0.0, False
+    factor = math.sqrt(-2.0 * math.log(s) / s)
+    return u1 * factor, u2 * factor, True
+
+
+def marsaglia_bray_normals(
+    u1: np.ndarray, u2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized polar attempts.
+
+    Parameters
+    ----------
+    u1, u2:
+        Arrays of uniforms in (-1, 1) (see ``uint_to_symmetric``).
+
+    Returns
+    -------
+    (values, valid):
+        ``values`` holds the normal deviate where ``valid`` is True and
+        0.0 elsewhere; invalid lanes correspond to rejected attempts.
+    """
+    u1 = np.asarray(u1, dtype=np.float64)
+    u2 = np.asarray(u2, dtype=np.float64)
+    s = u1 * u1 + u2 * u2
+    valid = (s < 1.0) & (s > 0.0)
+    safe_s = np.where(valid, s, 0.5)  # dummy value keeps log/sqrt silent
+    factor = np.sqrt(-2.0 * np.log(safe_s) / safe_s)
+    values = np.where(valid, u1 * factor, 0.0)
+    return values.astype(np.float32), valid
+
+
+class MarsagliaBray:
+    """Stateful polar-method normal generator over two Mersenne-Twisters.
+
+    "If necessary, the two input sequences can be split into two parallel
+    Mersenne-Twisters following [18]" (Section II-D2) — this class takes
+    two independent twisters, one per square coordinate.
+    """
+
+    def __init__(self, mt_a: MersenneTwister, mt_b: MersenneTwister):
+        self.mt_a = mt_a
+        self.mt_b = mt_b
+        self.attempts = 0
+        self.accepts = 0
+
+    def attempt(self) -> tuple[float, bool]:
+        """One pipelined attempt; consumes one word from each twister."""
+        u1 = uint_to_symmetric(self.mt_a.next_u32())
+        u2 = uint_to_symmetric(self.mt_b.next_u32())
+        self.attempts += 1
+        value, valid = marsaglia_bray_attempt(u1, u2)
+        if valid:
+            self.accepts += 1
+        return value, valid
+
+    def next_normal(self) -> float:
+        """Loop attempts until one is accepted (host-style usage)."""
+        while True:
+            value, valid = self.attempt()
+            if valid:
+                return value
+
+    def normals(self, count: int, batch: int = 65536) -> np.ndarray:
+        """Vectorized generation of ``count`` accepted normals."""
+        out = np.empty(count, dtype=np.float32)
+        filled = 0
+        while filled < count:
+            u1 = uint_to_symmetric(self.mt_a.generate(batch))
+            u2 = uint_to_symmetric(self.mt_b.generate(batch))
+            values, valid = marsaglia_bray_normals(u1, u2)
+            self.attempts += batch
+            accepted = values[valid]
+            self.accepts += accepted.size
+            take = min(accepted.size, count - filled)
+            out[filled : filled + take] = accepted[:take]
+            filled += take
+        return out
+
+    @property
+    def measured_rejection_rate(self) -> float:
+        """Observed rejection rate (paper §IV-E quotes 1 - π/4 ≈ 21.5 %)."""
+        if self.attempts == 0:
+            return 0.0
+        return 1.0 - self.accepts / self.attempts

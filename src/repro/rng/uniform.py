@@ -1,0 +1,57 @@
+"""uint32 → float conversions (the paper's ``uint2float``).
+
+Listing 2 converts raw Mersenne-Twister words into uniforms with a
+``uint2float`` helper.  The hardware-friendly convention, used here, maps
+a 32-bit word ``u`` to ``(u + 0.5) * 2**-32`` — an open-interval (0, 1)
+uniform, which keeps downstream ``log``/division safe without a branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INV_2_23 = float(2.0**-23)
+_INV_2_24 = float(2.0**-24)
+
+
+def uint_to_float(u) -> np.ndarray | float:
+    """Map uint32 word(s) to float32 uniforms in the open interval (0, 1).
+
+    The top 23 bits become the significand: ``f = (u>>9 + 0.5) * 2**-23``.
+    Every output is *exactly* representable in float32, so the endpoints
+    (min ``2**-24``, max ``1 - 2**-24``) are genuinely unreachable and
+    downstream ``log``/division never trap — the same guarantee the
+    hardware ``uint2float`` provides.  (Keeping all 32 bits would round
+    values near 1 up to exactly 1.0 in single precision.)
+    """
+    if np.isscalar(u) or isinstance(u, (int, np.integer)):
+        return float(np.float32(((int(u) >> 9) + 0.5) * _INV_2_23))
+    arr = np.asarray(u, dtype=np.uint64)
+    return (((arr >> np.uint64(9)).astype(np.float64) + 0.5) * _INV_2_23).astype(
+        np.float32
+    )
+
+
+def uint_to_symmetric(u) -> np.ndarray | float:
+    """Map uint32 word(s) to float32 uniforms in the open interval (-1, 1).
+
+    Used by the Marsaglia-Bray polar method, which samples points in the
+    square (-1, 1) x (-1, 1).  Top 24 bits are kept; outputs are exact
+    odd multiples of ``2**-24``, so ±1 are unreachable in float32.
+    """
+    if np.isscalar(u) or isinstance(u, (int, np.integer)):
+        return float(np.float32(((int(u) >> 8) + 0.5) * _INV_2_23 - 1.0))
+    arr = np.asarray(u, dtype=np.uint64)
+    return (
+        ((arr >> np.uint64(8)).astype(np.float64) + 0.5) * _INV_2_23 - 1.0
+    ).astype(np.float32)
+
+
+def float_to_uint(x) -> np.ndarray | int:
+    """Approximate inverse of :func:`uint_to_float` (useful in tests).
+
+    Accurate to the 2**-23 resolution the forward conversion keeps."""
+    if np.isscalar(x) or isinstance(x, (float, np.floating)):
+        return int(min(max(float(x), 0.0), 1.0 - 2.0**-24) * 2.0**32)
+    arr = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0 - 2.0**-24)
+    return (arr * 2.0**32).astype(np.uint32)

@@ -1,0 +1,220 @@
+"""Tests for the DATAFLOW region co-simulation."""
+
+import pytest
+
+from repro.core import (
+    DataflowError,
+    DataflowRegion,
+    DeadlockError,
+    Process,
+    Stream,
+)
+
+
+class Producer(Process):
+    def __init__(self, name, sink, count):
+        super().__init__(name)
+        self.sink = sink
+        self.remaining = count
+
+    def outputs(self):
+        return (self.sink,)
+
+    def done(self):
+        return self.remaining == 0
+
+    def tick(self, cycle):
+        if self.remaining and self.sink.can_write():
+            self.sink.write(self.remaining)
+            self.remaining -= 1
+            return self._account(True)
+        return self._account(False)
+
+
+class Consumer(Process):
+    def __init__(self, name, source, count):
+        super().__init__(name)
+        self.source = source
+        self.remaining = count
+        self.received = []
+
+    def inputs(self):
+        return (self.source,)
+
+    def done(self):
+        return self.remaining == 0
+
+    def tick(self, cycle):
+        if self.remaining and self.source.can_read():
+            self.received.append(self.source.read())
+            self.remaining -= 1
+            return self._account(True)
+        return self._account(False)
+
+
+class Relay(Process):
+    """One-in one-out forwarding process (for chains)."""
+
+    def __init__(self, name, source, sink, count):
+        super().__init__(name)
+        self.source = source
+        self.sink = sink
+        self.remaining = count
+
+    def inputs(self):
+        return (self.source,)
+
+    def outputs(self):
+        return (self.sink,)
+
+    def done(self):
+        return self.remaining == 0
+
+    def tick(self, cycle):
+        if self.remaining and self.source.can_read() and self.sink.can_write():
+            self.sink.write(self.source.read())
+            self.remaining -= 1
+            return self._account(True)
+        return self._account(False)
+
+
+class Stuck(Process):
+    """Never progresses — deadlock fixture."""
+
+    def __init__(self, name, source):
+        super().__init__(name)
+        self.source = source
+
+    def inputs(self):
+        return (self.source,)
+
+    def done(self):
+        return False
+
+    def tick(self, cycle):
+        return self._account(False)
+
+
+def _pipe(count=10, depth=2):
+    s = Stream("s", depth=depth)
+    region = DataflowRegion("t")
+    prod = region.add(Producer("prod", s, count))
+    cons = region.add(Consumer("cons", s, count))
+    return region, prod, cons
+
+
+class TestWiringValidation:
+    def test_duplicate_process_name_rejected(self):
+        region, _, _ = _pipe()
+        with pytest.raises(DataflowError):
+            region.add(Producer("prod", Stream("x"), 1))
+
+    def test_two_producers_rejected(self):
+        s = Stream("s")
+        region = DataflowRegion("t")
+        region.add(Producer("p1", s, 1))
+        region.add(Producer("p2", s, 1))
+        region.add(Consumer("c", s, 2))
+        with pytest.raises(DataflowError, match="two producers"):
+            region.run()
+
+    def test_two_consumers_rejected(self):
+        s = Stream("s")
+        region = DataflowRegion("t")
+        region.add(Producer("p", s, 2))
+        region.add(Consumer("c1", s, 1))
+        region.add(Consumer("c2", s, 1))
+        with pytest.raises(DataflowError, match="two consumers"):
+            region.run()
+
+    def test_cycle_rejected(self):
+        a, b = Stream("a"), Stream("b")
+        region = DataflowRegion("t")
+        region.add(Relay("r1", a, b, 1))
+        region.add(Relay("r2", b, a, 1))
+        with pytest.raises(DataflowError, match="cycle"):
+            region.run()
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(DataflowError):
+            DataflowRegion("t").run()
+
+
+class TestExecution:
+    def test_all_tokens_delivered_in_order(self):
+        region, _, cons = _pipe(count=25)
+        region.run()
+        assert cons.received == list(range(25, 0, -1))
+
+    def test_same_cycle_handoff(self):
+        """Producer ticked before consumer: a token written in cycle t is
+        readable in cycle t — pipe of N tokens finishes in ~N+1 cycles."""
+        region, _, _ = _pipe(count=50, depth=2)
+        report = region.run()
+        assert report.cycles <= 52
+
+    def test_backpressure_with_shallow_stream(self):
+        s = Stream("s", depth=1)
+        region = DataflowRegion("t")
+        prod = region.add(Producer("p", s, 30))
+        # consumer that reads every other cycle
+        class SlowConsumer(Consumer):
+            def tick(self, cycle):
+                if cycle % 2 == 0:
+                    return self._account(False)
+                return super().tick(cycle)
+
+        region.add(SlowConsumer("c", s, 30))
+        region.run()
+        assert prod.stats.stall_cycles > 0  # producer was backpressured
+
+    def test_chain_of_relays(self):
+        a, b, c = Stream("a"), Stream("b"), Stream("c")
+        region = DataflowRegion("chain")
+        region.add(Producer("p", a, 10))
+        region.add(Relay("r1", a, b, 10))
+        region.add(Relay("r2", b, c, 10))
+        cons = region.add(Consumer("cons", c, 10))
+        region.run()
+        assert cons.received == list(range(10, 0, -1))
+
+    def test_registration_order_irrelevant(self):
+        """Topological ordering makes consumer-first registration work."""
+        s = Stream("s")
+        region = DataflowRegion("t")
+        cons = region.add(Consumer("c", s, 10))
+        region.add(Producer("p", s, 10))
+        report = region.run()
+        assert len(cons.received) == 10
+        assert report.cycles <= 12
+
+    def test_deadlock_detected(self):
+        s = Stream("s")
+        region = DataflowRegion("t")
+        region.add(Stuck("stuck", s))
+        with pytest.raises(DeadlockError, match="stuck"):
+            region.run()
+
+    def test_max_cycles_guard(self):
+        region, _, _ = _pipe(count=1000)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            region.run(max_cycles=5)
+
+
+class TestReport:
+    def test_report_contents(self):
+        region, prod, cons = _pipe(count=10)
+        report = region.run()
+        assert report.process_stats["prod"].iterations == 0  # Producer sets none
+        assert report.stream_stats["s"]["total_writes"] == 10
+        assert report.stream_stats["s"]["total_reads"] == 10
+        assert report.stream_stats["s"]["high_water"] <= 2
+
+    def test_runtime_conversion(self):
+        region, *_ = _pipe(count=10)
+        report = region.run()
+        assert report.runtime_ms(200e6) == pytest.approx(
+            report.cycles / 200e6 * 1e3
+        )
+        with pytest.raises(ValueError):
+            report.runtime_seconds(0)

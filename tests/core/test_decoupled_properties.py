@@ -1,0 +1,98 @@
+"""Hypothesis invariants of the decoupled-work-items region.
+
+Randomized configurations must always satisfy the design's contracts:
+exact output quotas, device memory == produced values, no cross-item
+interference, runtime bounded below by both the compute and the channel
+bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DecoupledConfig,
+    DecoupledWorkItems,
+    GammaKernelConfig,
+    MemoryChannelConfig,
+)
+from repro.fixedpoint import FLOATS_PER_WORD
+from repro.rng.mersenne import MT521_PARAMS
+
+configs = st.builds(
+    lambda n_wi, bursts, burst_words, sectors, depth, setup, cpw, seed: DecoupledConfig(
+        n_work_items=n_wi,
+        kernel=GammaKernelConfig(
+            mt_params=MT521_PARAMS,
+            limit_main=bursts * burst_words * FLOATS_PER_WORD,
+            sector_variances=(1.39,) * sectors,
+            seed=seed,
+        ),
+        burst_words=burst_words,
+        stream_depth=depth,
+        channel=MemoryChannelConfig(setup_cycles=setup, cycles_per_word=cpw),
+    ),
+    n_wi=st.integers(min_value=1, max_value=4),
+    bursts=st.integers(min_value=1, max_value=3),
+    burst_words=st.sampled_from([1, 2, 4]),
+    sectors=st.integers(min_value=1, max_value=2),
+    depth=st.sampled_from([1, 2, 8, 32]),
+    setup=st.integers(min_value=0, max_value=60),
+    cpw=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=1, max_value=10_000),
+)
+
+
+@given(cfg=configs)
+@settings(max_examples=25, deadline=None)
+def test_prop_output_quota_exact(cfg):
+    res = DecoupledWorkItems(cfg).run()
+    for kernel in res.kernels:
+        assert kernel.outputs_produced == cfg.kernel.total_outputs
+
+
+@given(cfg=configs)
+@settings(max_examples=25, deadline=None)
+def test_prop_memory_equals_produced(cfg):
+    res = DecoupledWorkItems(cfg).run()
+    for wid, kernel in enumerate(res.kernels):
+        np.testing.assert_allclose(
+            res.gammas(wid),
+            np.array(kernel.produced, dtype=np.float32),
+            rtol=1e-6,
+        )
+
+
+@given(cfg=configs)
+@settings(max_examples=25, deadline=None)
+def test_prop_runtime_at_least_both_bounds(cfg):
+    res = DecoupledWorkItems(cfg).run()
+    slowest_kernel_attempts = max(k.attempts for k in res.kernels)
+    total_words = cfg.total_words
+    bursts = total_words // cfg.burst_words
+    channel_bound = bursts * cfg.channel.burst_cycles(cfg.burst_words)
+    assert res.cycles >= slowest_kernel_attempts  # II = 1 floor
+    assert res.cycles >= channel_bound / max(cfg.n_channels, 1)
+
+
+@given(cfg=configs, seed2=st.integers(min_value=10_001, max_value=20_000))
+@settings(max_examples=15, deadline=None)
+def test_prop_schedule_independent_of_values(cfg, seed2):
+    """Decoupling invariant: kernel *data* changes (different seeds)
+    leave every work-item's output count and memory layout intact."""
+    res_a = DecoupledWorkItems(cfg).run()
+    cfg_b = DecoupledConfig(
+        n_work_items=cfg.n_work_items,
+        kernel=GammaKernelConfig(
+            mt_params=cfg.kernel.mt_params,
+            limit_main=cfg.kernel.limit_main,
+            sector_variances=cfg.kernel.sector_variances,
+            seed=seed2,
+        ),
+        burst_words=cfg.burst_words,
+        stream_depth=cfg.stream_depth,
+        channel=cfg.channel,
+    )
+    res_b = DecoupledWorkItems(cfg_b).run()
+    assert res_a.gammas().shape == res_b.gammas().shape
+    for ka, kb in zip(res_a.kernels, res_b.kernels):
+        assert ka.outputs_produced == kb.outputs_produced

@@ -1,0 +1,141 @@
+"""Tests for the delayed-counter loop-exit workaround (Section III-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NAIVE_EXIT_II, DelayedCounter
+
+
+class TestBasics:
+    def test_initial_state(self):
+        c = DelayedCounter()
+        assert c.value == 0 and c.delayed == 0
+
+    def test_negative_break_id_rejected(self):
+        with pytest.raises(ValueError):
+            DelayedCounter(break_id=-1)
+
+    def test_delay_is_break_id_plus_one(self):
+        assert DelayedCounter(0).delay == 1
+        assert DelayedCounter(3).delay == 4
+
+    def test_break_id_zero_one_iteration_lag(self):
+        """breakId = 0 'suffices ... meaning a delay of one cycle'."""
+        c = DelayedCounter(break_id=0)
+        c.shift()
+        c.increment()
+        assert c.value == 1
+        assert c.delayed == 0  # not visible yet
+        c.shift()
+        assert c.delayed == 1  # visible one iteration later
+
+    def test_deeper_delay_line(self):
+        c = DelayedCounter(break_id=2)
+        c.shift()
+        c.increment()
+        for expected in (0, 0, 1):
+            c.shift()
+            assert c.delayed in (0, 1)
+        # after 3 shifts post-increment, the value must be visible
+        assert c.delayed == 1
+
+    def test_reset(self):
+        c = DelayedCounter(1)
+        c.shift()
+        c.increment(5)
+        c.reset()
+        assert c.value == 0 and c.delayed == 0
+
+    def test_increment_amount(self):
+        c = DelayedCounter()
+        c.increment(3)
+        assert c.value == 3
+
+
+class TestLoopSemantics:
+    def _run_mainloop(self, break_id, limit_main, accept_pattern):
+        """Emulate the MAINLOOP skeleton of Listing 2 and return
+        (iterations, outputs)."""
+        c = DelayedCounter(break_id)
+        outputs = 0
+        iterations = 0
+        k = 0
+        limit_max = 10_000
+        while k < limit_max and c.delayed < limit_main:
+            c.shift()
+            ok = accept_pattern(k)
+            if ok and c.value < limit_main:
+                outputs += 1
+                c.increment()
+            iterations += 1
+            k += 1
+        return iterations, outputs
+
+    def test_exact_output_quota_all_accept(self):
+        iterations, outputs = self._run_mainloop(0, 10, lambda k: True)
+        assert outputs == 10
+        # exit observed one iteration late -> exactly delay extra iterations
+        assert iterations == 10 + 1
+
+    def test_overrun_bounded_by_delay(self):
+        for break_id in range(4):
+            iterations, outputs = self._run_mainloop(break_id, 8, lambda k: True)
+            assert outputs == 8
+            assert iterations == 8 + break_id + 1
+
+    def test_quota_with_rejections(self):
+        # accept every third attempt
+        iterations, outputs = self._run_mainloop(0, 5, lambda k: k % 3 == 0)
+        assert outputs == 5
+        assert iterations >= 13  # ceil pattern: accepts at k=0,3,6,9,12
+
+    def test_guard_prevents_extra_outputs(self):
+        """The body guard (counter < limitMain) keeps the overrun
+        iterations from emitting — the paper's correctness condition."""
+        iterations, outputs = self._run_mainloop(3, 6, lambda k: True)
+        assert outputs == 6  # never 6 + overrun
+
+
+class TestNaiveExitConstant:
+    def test_naive_ii_worse_than_workaround(self):
+        assert NAIVE_EXIT_II > 1
+
+
+@given(
+    break_id=st.integers(min_value=0, max_value=5),
+    limit=st.integers(min_value=1, max_value=40),
+    pattern=st.lists(st.booleans(), min_size=400, max_size=400),
+)
+@settings(max_examples=60)
+def test_prop_outputs_never_exceed_quota(break_id, limit, pattern):
+    c = DelayedCounter(break_id)
+    outputs = 0
+    k = 0
+    while k < len(pattern) and c.delayed < limit:
+        c.shift()
+        if pattern[k] and c.value < limit:
+            outputs += 1
+            c.increment()
+        k += 1
+    assert outputs <= limit
+    # if enough accepts existed, the quota must be met exactly
+    if sum(pattern) >= limit + break_id + 1 and outputs < limit:
+        # loop ran out of pattern before filling the quota
+        assert k == len(pattern)
+
+
+@given(break_id=st.integers(min_value=0, max_value=6),
+       increments=st.lists(st.booleans(), max_size=100))
+@settings(max_examples=100)
+def test_prop_delayed_equals_history(break_id, increments):
+    """delayed == the value exactly (break_id + 1) shifts ago."""
+    c = DelayedCounter(break_id)
+    history = []
+    for inc in increments:
+        history.append(c.value)  # value at shift time
+        c.shift()
+        if inc:
+            c.increment()
+        lag = break_id + 1
+        expected = history[-lag] if len(history) >= lag else 0
+        assert c.delayed == expected

@@ -1,0 +1,80 @@
+"""Tests for the stream-depth sizing advisor."""
+
+import pytest
+
+from repro.core import (
+    DecoupledConfig,
+    DecoupledWorkItems,
+    GammaKernelConfig,
+    MemoryChannelConfig,
+    advise_stream_depth,
+)
+from repro.rng.mersenne import MT521_PARAMS
+
+
+def _builder(depth):
+    return DecoupledWorkItems(
+        DecoupledConfig(
+            n_work_items=2,
+            kernel=GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=128),
+            burst_words=2,
+            stream_depth=depth,
+            channel=MemoryChannelConfig(setup_cycles=40, cycles_per_word=2),
+        )
+    ).region
+
+
+class TestAdviseStreamDepth:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return advise_stream_depth(_builder, depths=(1, 2, 4, 8, 16, 32))
+
+    def test_all_depths_measured(self, result):
+        assert [p.depth for p in result.points] == [1, 2, 4, 8, 16, 32]
+
+    def test_runtime_monotone_non_increasing(self, result):
+        cycles = [p.cycles for p in result.points]
+        assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+
+    def test_high_water_bounded_by_depth(self, result):
+        for p in result.points:
+            assert p.max_high_water <= p.depth
+
+    def test_stalls_shrink_with_depth(self, result):
+        assert result.points[0].total_write_stalls >= (
+            result.points[-1].total_write_stalls
+        )
+
+    def test_recommendation_within_tolerance(self, result):
+        best = result.points[-1].cycles
+        chosen = next(
+            p for p in result.points if p.depth == result.recommended_depth
+        )
+        assert chosen.cycles <= best * (1 + result.tolerance)
+
+    def test_recommendation_is_minimal(self, result):
+        best = result.points[-1].cycles
+        for p in result.points:
+            if p.depth >= result.recommended_depth:
+                break
+            assert p.cycles > best * (1 + result.tolerance)
+
+    def test_table(self, result):
+        rows = result.table()
+        assert len(rows) == 6 and len(rows[0]) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advise_stream_depth(_builder, depths=(4, 2))
+        with pytest.raises(ValueError):
+            advise_stream_depth(_builder, depths=(2,), tolerance=-1)
+
+
+class TestMarkdownReporting:
+    def test_to_markdown(self):
+        from repro.harness.reporting import to_markdown
+
+        md = to_markdown(["a", "b"], [[1, 2.5]], title="T")
+        assert "**T**" in md
+        assert "| a | b |" in md
+        assert "| 1 | 2.50 |" in md

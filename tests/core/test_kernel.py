@@ -1,0 +1,227 @@
+"""Tests for the GammaRNG kernel process (Listing 2 semantics)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import (
+    GammaKernelConfig,
+    GammaRNGProcess,
+    NAIVE_EXIT_II,
+    Stream,
+)
+from repro.rng import (
+    MT521_PARAMS,
+    MarsagliaBray,
+    MarsagliaTsangGamma,
+    MersenneTwister,
+)
+
+
+def _run_kernel(cfg, depth=10_000):
+    """Run a kernel to completion against an effectively unbounded sink."""
+    sink = Stream("g", depth=depth)
+    k = GammaRNGProcess("k", 0, cfg, sink)
+    cycle = 0
+    while not k.done():
+        k.tick(cycle)
+        cycle += 1
+        assert cycle < 10_000_000
+    return k, sink, cycle
+
+
+class TestConfigValidation:
+    def test_unknown_transform(self):
+        with pytest.raises(ValueError, match="transform"):
+            GammaKernelConfig(transform="warp_shuffle")
+
+    def test_empty_variances(self):
+        with pytest.raises(ValueError):
+            GammaKernelConfig(sector_variances=())
+
+    def test_negative_variance(self):
+        with pytest.raises(ValueError):
+            GammaKernelConfig(sector_variances=(1.0, -2.0))
+
+    def test_limit_max_below_limit_main(self):
+        with pytest.raises(ValueError):
+            GammaKernelConfig(limit_main=10, limit_max=5)
+
+    def test_ii_from_exit_style(self):
+        assert GammaKernelConfig().ii == 1
+        assert GammaKernelConfig(use_delayed_counter=False).ii == NAIVE_EXIT_II
+
+    def test_totals(self):
+        cfg = GammaKernelConfig(sector_variances=(1.0, 2.0), limit_main=32)
+        assert cfg.sectors == 2
+        assert cfg.total_outputs == 64
+
+
+class TestOutputQuota:
+    @pytest.mark.parametrize("transform", ["marsaglia_bray", "icdf_fpga", "icdf_cuda"])
+    def test_exact_quota_per_sector(self, transform):
+        cfg = GammaKernelConfig(
+            transform=transform,
+            mt_params=MT521_PARAMS,
+            sector_variances=(1.39, 0.7),
+            limit_main=48,
+        )
+        k, sink, _ = _run_kernel(cfg)
+        assert k.outputs_produced == cfg.total_outputs
+        assert sink.total_writes == cfg.total_outputs
+
+    def test_outputs_positive(self):
+        cfg = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=64)
+        k, sink, _ = _run_kernel(cfg)
+        assert all(v > 0 for v in sink.drain())
+
+    def test_limit_max_caps_attempts(self):
+        # impossible quota with a tight cap: kernel must still terminate
+        cfg = GammaKernelConfig(
+            mt_params=MT521_PARAMS, limit_main=64, limit_max=70
+        )
+        k, _, _ = _run_kernel(cfg)
+        assert k.attempts <= 70 * cfg.sectors + cfg.sectors
+
+    def test_overrun_iterations_bounded_by_delay(self):
+        cfg = GammaKernelConfig(
+            transform="icdf_cuda",  # rejection-free -> deterministic overrun
+            mt_params=MT521_PARAMS,
+            limit_main=32,
+            break_id=0,
+        )
+        k, _, _ = _run_kernel(cfg)
+        # every sector overruns by exactly break_id + 1 iterations, and
+        # gamma rejection may drop some of those overruns below ok
+        assert k.overrun_iterations <= (cfg.break_id + 1) * cfg.sectors
+
+
+class TestPipelineTiming:
+    def test_ii1_cycles_close_to_attempts(self):
+        cfg = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=128)
+        k, _, cycles = _run_kernel(cfg)
+        # II=1: one attempt per cycle plus sector bookkeeping cycles
+        assert cycles <= k.attempts + 3 * cfg.sectors + 5
+
+    def test_naive_exit_doubles_cycles(self):
+        base = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=128, seed=5)
+        slow = GammaKernelConfig(
+            mt_params=MT521_PARAMS, limit_main=128, seed=5,
+            use_delayed_counter=False,
+        )
+        _, _, fast_cycles = _run_kernel(base)
+        _, _, slow_cycles = _run_kernel(slow)
+        assert slow_cycles > 1.8 * fast_cycles
+
+    def test_naive_mt_pays_bubbles_on_rejection(self):
+        base = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=128, seed=5)
+        naive = GammaKernelConfig(
+            mt_params=MT521_PARAMS, limit_main=128, seed=5, adapted_mt=False
+        )
+        _, _, fast_cycles = _run_kernel(base)
+        k, _, slow_cycles = _run_kernel(naive)
+        assert slow_cycles > fast_cycles  # ~21.5 % of attempts gate mt_reject
+        assert k.outputs_produced == k.config.total_outputs  # same function
+
+    def test_backpressure_freezes_pipeline(self):
+        cfg = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=16)
+        sink = Stream("g", depth=1)  # tiny FIFO, nobody draining
+        k = GammaRNGProcess("k", 0, cfg, sink)
+        for cycle in range(2000):
+            if k.done():
+                break
+            k.tick(cycle)
+        assert not k.done()
+        assert sink.full()
+        # pipeline must not have over-produced into the void
+        assert k.outputs_produced <= cfg.limit_main * cfg.sectors
+
+    def test_backpressure_resume_loses_nothing(self):
+        cfg = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=32)
+        sink = Stream("g", depth=2)
+        k = GammaRNGProcess("k", 0, cfg, sink)
+        received = []
+        cycle = 0
+        while not k.done():
+            k.tick(cycle)
+            if cycle % 5 == 0 and sink.can_read():  # slow consumer
+                received.append(sink.read())
+            cycle += 1
+        received.extend(sink.drain())
+        assert received == k.produced
+
+
+class TestStatisticalCorrectness:
+    def test_gamma_distribution_from_pipeline(self):
+        v = 1.39
+        cfg = GammaKernelConfig(
+            mt_params=MT521_PARAMS, sector_variances=(v,) * 4, limit_main=512
+        )
+        k, sink, _ = _run_kernel(cfg)
+        samples = np.array(list(sink.drain()))
+        p = stats.kstest(samples, "gamma", args=(1 / v, 0, v)).pvalue
+        assert p > 1e-4
+
+    def test_distinct_work_items_draw_distinct_streams(self):
+        cfg = GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=64)
+        outs = []
+        for wid in range(2):
+            sink = Stream("g", depth=1000)
+            k = GammaRNGProcess("k", wid, cfg, sink)
+            cycle = 0
+            while not k.done():
+                k.tick(cycle)
+                cycle += 1
+            outs.append(list(sink.drain()))
+        assert outs[0] != outs[1]
+
+    def test_rejection_rate_mb_vs_icdf(self):
+        """Section IV-E: the Marsaglia-Bray path rejects far more than the
+        ICDF path — the driver of the Table III crossover."""
+        mb_cfg = GammaKernelConfig(
+            transform="marsaglia_bray", mt_params=MT521_PARAMS, limit_main=1024
+        )
+        icdf_cfg = GammaKernelConfig(
+            transform="icdf_fpga", mt_params=MT521_PARAMS, limit_main=1024
+        )
+        k_mb, _, _ = _run_kernel(mb_cfg)
+        k_icdf, _, _ = _run_kernel(icdf_cfg)
+        assert k_mb.measured_rejection_rate > 0.15
+        assert k_icdf.measured_rejection_rate < 0.10
+        assert k_mb.measured_rejection_rate > 2 * k_icdf.measured_rejection_rate
+
+
+class TestGoldenEquivalence:
+    def test_pipeline_matches_host_reference(self):
+        """The cycle-level kernel must reproduce, bit-for-bit, the host-side
+        nested generator when fed the same seeds — proving the gating
+        (Listing 3) discards nothing."""
+        v = 1.39
+        cfg = GammaKernelConfig(
+            mt_params=MT521_PARAMS,
+            sector_variances=(v,),
+            limit_main=256,
+            seed=777,
+        )
+        sink = Stream("g", depth=10000)
+        k = GammaRNGProcess("k", 0, cfg, sink)
+        cycle = 0
+        while not k.done():
+            k.tick(cycle)
+            cycle += 1
+        pipeline_out = np.array(list(sink.drain()))
+
+        base = cfg.seed  # wid = 0
+        mb = MarsagliaBray(
+            MersenneTwister(MT521_PARAMS, seed=base + 1),
+            MersenneTwister(MT521_PARAMS, seed=base + 2),
+        )
+        golden = MarsagliaTsangGamma(
+            alpha=1 / v,
+            normal_source=mb.attempt,
+            mt_reject=MersenneTwister(MT521_PARAMS, seed=base + 3),
+            mt_correct=MersenneTwister(MT521_PARAMS, seed=base + 4),
+            scale=v,
+        )
+        golden_out = golden.samples(cfg.limit_main)
+        np.testing.assert_allclose(pipeline_out, golden_out, rtol=1e-6)

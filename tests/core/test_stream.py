@@ -1,0 +1,135 @@
+"""Tests for the hls::stream model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Stream, StreamEmpty, StreamFull
+from repro.core.stream import StreamClosed
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        s = Stream("s", depth=4)
+        for v in [1, 2, 3]:
+            s.write(v)
+        assert [s.read() for _ in range(3)] == [1, 2, 3]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            Stream("s", depth=0)
+
+    def test_default_depth_is_two(self):
+        # HLS streams default to depth 2
+        assert Stream("s").depth == 2
+
+    def test_full_and_empty(self):
+        s = Stream("s", depth=2)
+        assert s.empty() and not s.full()
+        s.write(1)
+        s.write(2)
+        assert s.full() and not s.empty()
+
+    def test_write_full_raises(self):
+        s = Stream("s", depth=1)
+        s.write(1)
+        with pytest.raises(StreamFull):
+            s.write(2)
+
+    def test_read_empty_raises(self):
+        with pytest.raises(StreamEmpty):
+            Stream("s").read()
+
+    def test_peek(self):
+        s = Stream("s")
+        s.write(42)
+        assert s.peek() == 42
+        assert len(s) == 1
+        assert s.read() == 42
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(StreamEmpty):
+            Stream("s").peek()
+
+    def test_closed_write_raises(self):
+        s = Stream("s")
+        s.close()
+        with pytest.raises(StreamClosed):
+            s.write(1)
+
+    def test_drained(self):
+        s = Stream("s")
+        s.write(1)
+        s.close()
+        assert not s.drained()
+        s.read()
+        assert s.drained()
+
+    def test_drain_iterates_all(self):
+        s = Stream("s", depth=8)
+        for v in range(5):
+            s.write(v)
+        assert list(s.drain()) == [0, 1, 2, 3, 4]
+
+
+class TestPolling:
+    def test_can_write_counts_stalls(self):
+        s = Stream("s", depth=1)
+        s.write(1)
+        assert not s.can_write()
+        assert not s.can_write()
+        assert s.write_stalls == 2
+
+    def test_can_read_counts_stalls(self):
+        s = Stream("s")
+        assert not s.can_read()
+        assert s.read_stalls == 1
+
+    def test_successful_polls_not_counted(self):
+        s = Stream("s")
+        s.write(1)
+        assert s.can_read()
+        assert s.can_write()
+        assert s.read_stalls == 0 and s.write_stalls == 0
+
+
+class TestAccounting:
+    def test_high_water(self):
+        s = Stream("s", depth=8)
+        for v in range(5):
+            s.write(v)
+        for _ in range(3):
+            s.read()
+        s.write(9)
+        assert s.high_water == 5
+
+    def test_totals(self):
+        s = Stream("s", depth=4)
+        for v in range(4):
+            s.write(v)
+        for _ in range(2):
+            s.read()
+        assert s.total_writes == 4 and s.total_reads == 2
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=16),
+    ops=st.lists(st.booleans(), max_size=200),
+)
+@settings(max_examples=100)
+def test_prop_occupancy_bounded_and_fifo(depth, ops):
+    """Under any poll-guarded write/read interleaving the occupancy stays
+    in [0, depth] and tokens come out in order."""
+    s = Stream("p", depth=depth)
+    next_token = 0
+    expected = 0
+    for is_write in ops:
+        if is_write:
+            if s.can_write():
+                s.write(next_token)
+                next_token += 1
+        else:
+            if s.can_read():
+                assert s.read() == expected
+                expected += 1
+        assert 0 <= s.occupancy <= depth
+    assert s.total_writes - s.total_reads == s.occupancy

@@ -1,0 +1,159 @@
+"""Tests for the Transfer engine (Listing 4) and the word packer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataflowRegion,
+    GlobalMemory,
+    MemoryChannel,
+    MemoryChannelConfig,
+    Stream,
+    TransferEngine,
+    DummySource,
+    WordPacker,
+)
+from repro.fixedpoint import FLOATS_PER_WORD
+
+
+class TestWordPacker:
+    def test_flag_every_16th(self):
+        p = WordPacker()
+        flags = [p.push(float(i))[1] for i in range(32)]
+        assert flags == [False] * 15 + [True] + [False] * 15 + [True]
+
+    def test_word_contents(self):
+        p = WordPacker()
+        word = None
+        for i in range(16):
+            word, flag = p.push(float(i))
+        raw = int(word)
+        lanes = [(raw >> (32 * k)) & 0xFFFFFFFF for k in range(16)]
+        floats = np.array(lanes, dtype=np.uint32).view(np.float32)
+        np.testing.assert_array_equal(floats, np.arange(16, dtype=np.float32))
+
+    def test_lane_counter_resets(self):
+        p = WordPacker()
+        for i in range(16):
+            p.push(1.0)
+        assert p.lane == 0
+
+
+def _run_engine(n_values, burst_words, sectors=1, channel_cfg=None, wid=0,
+                n_items=1):
+    """Drive one dummy-source → engine pair and return (memory, report)."""
+    values_per_burst = burst_words * FLOATS_PER_WORD
+    bursts = n_values // values_per_burst
+    words_per_item = bursts * burst_words * sectors
+    memory = GlobalMemory(words_per_item * max(n_items, wid + 1))
+    channel = MemoryChannel(channel_cfg or MemoryChannelConfig(), memory)
+    region = DataflowRegion("t")
+    region.attach_memory_channel(channel)
+    stream = Stream("s", depth=8)
+
+    class SeqSource(DummySource):
+        def __init__(self, name, sink, count):
+            super().__init__(name, sink, count)
+            self._i = 0
+
+        def tick(self, cycle):
+            if self.remaining and self.sink.can_write():
+                self.sink.write(float(self._i))
+                self._i += 1
+                self.remaining -= 1
+                return self._account(True)
+            return self._account(False)
+
+    region.add(SeqSource("src", stream, n_values * sectors))
+    engine = TransferEngine(
+        "eng", wid, stream, channel,
+        burst_words=burst_words,
+        bursts_per_sector=bursts,
+        sectors=sectors,
+        block_offset=words_per_item,
+    )
+    region.add(engine)
+    report = region.run()
+    return memory, report, engine
+
+
+class TestTransferEngine:
+    def test_data_lands_in_memory_in_order(self):
+        mem, _, _ = _run_engine(n_values=128, burst_words=2)
+        np.testing.assert_array_equal(
+            mem.read_floats(0, 128), np.arange(128, dtype=np.float32)
+        )
+
+    def test_wid_offset(self):
+        mem, _, _ = _run_engine(n_values=64, burst_words=2, wid=1, n_items=2)
+        # work-item 1 writes at blockOffset * 1
+        block_words = 64 // FLOATS_PER_WORD
+        np.testing.assert_array_equal(
+            mem.read_floats(block_words, 64), np.arange(64, dtype=np.float32)
+        )
+        assert np.all(mem.read_floats(0, 64) == 0.0)
+
+    def test_multi_sector_contiguous(self):
+        mem, _, _ = _run_engine(n_values=64, burst_words=2, sectors=3)
+        np.testing.assert_array_equal(
+            mem.read_floats(0, 192), np.arange(192, dtype=np.float32)
+        )
+
+    def test_burst_count(self):
+        _, _, engine = _run_engine(n_values=256, burst_words=4)
+        assert engine.bursts_completed == 256 // (4 * FLOATS_PER_WORD)
+
+    def test_block_offset_too_small_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            TransferEngine(
+                "e", 0, Stream("s"), MemoryChannel(),
+                burst_words=4, bursts_per_sector=2, sectors=1, block_offset=4,
+            )
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        dict(burst_words=0, bursts_per_sector=1, sectors=1, block_offset=64),
+        dict(burst_words=1, bursts_per_sector=0, sectors=1, block_offset=64),
+        dict(burst_words=1, bursts_per_sector=1, sectors=0, block_offset=64),
+    ])
+    def test_invalid_parameters(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            TransferEngine("e", 0, Stream("s"), MemoryChannel(), **bad_kwargs)
+
+    def test_engine_stalls_on_empty_stream(self):
+        cfg = MemoryChannelConfig(setup_cycles=0, cycles_per_word=1)
+
+        class Trickle(DummySource):
+            def tick(self, cycle):
+                if cycle % 3 == 0:
+                    return super().tick(cycle)
+                self._account(False)
+                return True  # deliberately idle — time passing, not deadlock
+
+        memory = GlobalMemory(2)
+        channel = MemoryChannel(cfg, memory)
+        region = DataflowRegion("t")
+        region.attach_memory_channel(channel)
+        s = Stream("s", depth=4)
+        region.add(Trickle("src", s, 16))
+        engine = TransferEngine(
+            "eng", 0, s, channel,
+            burst_words=1, bursts_per_sector=1, sectors=1, block_offset=1,
+        )
+        region.add(engine)
+        region.run()
+        assert engine.stats.stall_cycles > 0
+
+
+class TestDummySource:
+    def test_emits_exactly_count(self):
+        s = Stream("s", depth=100)
+        src = DummySource("d", s, 7)
+        c = 0
+        while not src.done():
+            src.tick(c)
+            c += 1
+        assert s.total_writes == 7
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DummySource("d", Stream("s"), -1)

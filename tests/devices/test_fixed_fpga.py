@@ -1,0 +1,256 @@
+"""Tests for the fixed-architecture and FPGA runtime models."""
+
+import pytest
+
+from repro.devices import (
+    DEFAULT_CALIBRATIONS,
+    DeviceCalibration,
+    FixedArchitectureModel,
+    FpgaModel,
+    attempt_profile,
+    eq1_theoretical_runtime,
+    fit_all,
+    measured_path_rates,
+)
+from repro.core.memory import MemoryChannelConfig
+from repro.opencl import NDRange, PAPER_DEVICES
+from repro.paper import (
+    FPGA_WORK_ITEMS,
+    OPTIMAL_LOCAL_SIZES,
+    SETUP,
+    TABLE3_RUNTIME_MS,
+)
+
+
+def _estimate(dev, transform, style, state_words, local=None):
+    model = FixedArchitectureModel(PAPER_DEVICES[dev])
+    prof = attempt_profile(transform, SETUP.sector_variance, icdf_style=style)
+    nd = NDRange(SETUP.global_size, local or OPTIMAL_LOCAL_SIZES[dev])
+    return model.estimate(prof, nd, SETUP.outputs_per_work_item, state_words)
+
+
+class TestCalibration:
+    def test_shipped_constants_are_reproducible(self):
+        """Provenance: DEFAULT_CALIBRATIONS must equal a fresh fit."""
+        fresh = fit_all()
+        for name, cal in DEFAULT_CALIBRATIONS.items():
+            assert cal.eta == pytest.approx(fresh[name].eta, rel=1e-9)
+            assert cal.kappa == pytest.approx(fresh[name].kappa, rel=1e-9, abs=1e-12)
+
+    def test_calibrated_cells_match_paper(self):
+        for cfg, transform, style, words in [
+            ("Config1", "marsaglia_bray", "cuda", 624),
+            ("Config3_cuda", "icdf", "cuda", 624),
+        ]:
+            for dev in ("CPU", "GPU", "PHI"):
+                est = _estimate(dev, transform, style, words)
+                paper = TABLE3_RUNTIME_MS[cfg][dev]
+                # CPU fits both cells exactly (two free scalars); GPU/PHI
+                # clamp kappa at 0 and split the residual geometrically,
+                # so their two cells sit up to ~20 % off individually
+                assert est.milliseconds == pytest.approx(paper, rel=0.20), (
+                    cfg, dev,
+                )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceCalibration(eta=0.0, kappa=1.0)
+        with pytest.raises(ValueError):
+            DeviceCalibration(eta=0.5, kappa=-1.0)
+
+
+class TestPredictions:
+    """The non-calibrated Table III cells are genuine predictions; allow a
+    2x band (paper absolute numbers came from a 2017 testbed)."""
+
+    @pytest.mark.parametrize("cfg,transform,style,words", [
+        ("Config2", "marsaglia_bray", "cuda", 17),
+        ("Config4_cuda", "icdf", "cuda", 17),
+        ("Config3_fpga_style", "icdf", "fpga", 624),
+        ("Config4_fpga_style", "icdf", "fpga", 17),
+    ])
+    @pytest.mark.parametrize("dev", ["CPU", "GPU", "PHI"])
+    def test_predicted_cells_within_2x(self, cfg, transform, style, words, dev):
+        est = _estimate(dev, transform, style, words)
+        paper = TABLE3_RUNTIME_MS[cfg][dev]
+        assert 0.5 < est.milliseconds / paper < 2.0, (cfg, dev, est.milliseconds)
+
+    def test_fpga_style_icdf_slow_on_cpu_phi_not_gpu(self):
+        """§II-D3/§IV-E: bit-level ICDF is 3-5x slower on CPU and PHI but
+        costs nothing extra on the GPU."""
+        for dev, lo, hi in [("CPU", 2.5, 6.0), ("PHI", 3.5, 8.0)]:
+            cuda = _estimate(dev, "icdf", "cuda", 624).milliseconds
+            fpga = _estimate(dev, "icdf", "fpga", 624).milliseconds
+            assert lo < fpga / cuda < hi, dev
+        gpu_ratio = (
+            _estimate("GPU", "icdf", "fpga", 624).milliseconds
+            / _estimate("GPU", "icdf", "cuda", 624).milliseconds
+        )
+        assert 0.9 < gpu_ratio < 1.3
+
+    def test_small_twister_helps_gpu_most(self):
+        """Config1→Config2 speedup: big on GPU (state traffic), none on CPU."""
+        gpu = (
+            _estimate("GPU", "marsaglia_bray", "cuda", 624).milliseconds
+            / _estimate("GPU", "marsaglia_bray", "cuda", 17).milliseconds
+        )
+        cpu = (
+            _estimate("CPU", "marsaglia_bray", "cuda", 624).milliseconds
+            / _estimate("CPU", "marsaglia_bray", "cuda", 17).milliseconds
+        )
+        assert gpu > 2.0
+        assert cpu < 1.2
+
+
+class TestFig5Shapes:
+    @pytest.mark.parametrize("dev", ["CPU", "GPU", "PHI"])
+    def test_optimal_local_size_matches_fig5a(self, dev):
+        sweep = {
+            ls: _estimate(dev, "marsaglia_bray", "cuda", 624, local=ls).seconds
+            for ls in (1, 2, 4, 8, 16, 32, 64, 128, 256)
+        }
+        best = min(sweep, key=sweep.get)
+        assert best == OPTIMAL_LOCAL_SIZES[dev]
+
+    @pytest.mark.parametrize("dev", ["CPU", "GPU", "PHI"])
+    def test_curve_is_u_shaped(self, dev):
+        opt = OPTIMAL_LOCAL_SIZES[dev]
+        t_opt = _estimate(dev, "marsaglia_bray", "cuda", 624, local=opt).seconds
+        t_lo = _estimate(dev, "marsaglia_bray", "cuda", 624, local=1).seconds
+        t_hi = _estimate(dev, "marsaglia_bray", "cuda", 624, local=256).seconds
+        assert t_lo > 1.5 * t_opt
+        assert t_hi >= t_opt
+
+    def test_global_size_saturation_fig5b(self):
+        """Fixed total work: runtime falls with globalSize then flattens."""
+        model = FixedArchitectureModel(PAPER_DEVICES["GPU"])
+        prof = attempt_profile("marsaglia_bray", SETUP.sector_variance)
+        total = SETUP.total_outputs
+        times = {}
+        for gs in (1024, 4096, 16384, 65536, 262144):
+            nd = NDRange(gs, 64)
+            times[gs] = model.estimate(prof, nd, total // gs, 624).seconds
+        assert times[1024] > 2 * times[65536]
+        assert times[262144] == pytest.approx(times[65536], rel=0.3)
+
+
+class TestModelValidation:
+    def test_fpga_device_rejected(self):
+        with pytest.raises(ValueError, match="FpgaModel"):
+            FixedArchitectureModel(PAPER_DEVICES["FPGA"])
+
+    def test_outputs_validated(self):
+        model = FixedArchitectureModel(PAPER_DEVICES["CPU"])
+        prof = attempt_profile("marsaglia_bray", 1.39)
+        with pytest.raises(ValueError):
+            model.estimate(prof, NDRange(64, 8), 0, 624)
+
+
+class TestFpgaModel:
+    def _rejection(self, transform):
+        key = "marsaglia_bray" if transform == "marsaglia_bray" else "icdf_fpga"
+        return 1.0 - measured_path_rates(key, SETUP.sector_variance).combined_accept
+
+    def test_config12_runtime_band(self):
+        m = FpgaModel(n_work_items=FPGA_WORK_ITEMS["Config1"])
+        est = m.estimate(SETUP.total_outputs, SETUP.num_sectors,
+                         self._rejection("marsaglia_bray"))
+        assert est.milliseconds == pytest.approx(
+            TABLE3_RUNTIME_MS["Config1"]["FPGA"], rel=0.2
+        )
+
+    def test_config34_runtime_band_and_transfer_bound(self):
+        m = FpgaModel(n_work_items=FPGA_WORK_ITEMS["Config3"])
+        est = m.estimate(SETUP.total_outputs, SETUP.num_sectors,
+                         self._rejection("icdf"))
+        assert est.milliseconds == pytest.approx(
+            TABLE3_RUNTIME_MS["Config3_cuda"]["FPGA"], rel=0.15
+        )
+        assert est.bound == "transfer"  # §IV-E's central finding
+
+    def test_effective_bandwidth_matches_section_ive(self):
+        m = FpgaModel(n_work_items=8)
+        est = m.estimate(SETUP.total_outputs, SETUP.num_sectors,
+                         self._rejection("icdf"))
+        assert est.effective_bandwidth_bps == pytest.approx(3.94e9, rel=0.05)
+
+    def test_eq1_quotes(self):
+        """Eq (1) with the paper's own rejection rates reproduces the
+        683 ms / 422 ms quotes."""
+        t12 = eq1_theoretical_runtime(
+            SETUP.num_scenarios, SETUP.num_sectors, 6, 200e6, 0.303
+        )
+        t34 = eq1_theoretical_runtime(
+            SETUP.num_scenarios, SETUP.num_sectors, 8, 200e6, 0.074
+        )
+        assert t12 * 1e3 == pytest.approx(683, rel=0.01)
+        assert t34 * 1e3 == pytest.approx(422, rel=0.01)
+
+    def test_eq1_underestimates_transfer_bound_config(self):
+        """§IV-E: Eq (1) is close for Config1,2 but ~35 % low for
+        Config3,4 because it ignores the transfer bottleneck."""
+        m = FpgaModel(n_work_items=8)
+        r = self._rejection("icdf")
+        est = m.estimate(SETUP.total_outputs, SETUP.num_sectors, r)
+        eq1 = eq1_theoretical_runtime(
+            SETUP.num_scenarios, SETUP.num_sectors, 8, 200e6, r
+        )
+        assert eq1 < 0.8 * est.seconds
+
+    def test_naive_ii_slows_compute(self):
+        r = self._rejection("marsaglia_bray")
+        fast = FpgaModel(n_work_items=6, ii=1)
+        slow = FpgaModel(n_work_items=6, ii=2)
+        t_fast = fast.estimate(SETUP.total_outputs, SETUP.num_sectors, r)
+        t_slow = slow.estimate(SETUP.total_outputs, SETUP.num_sectors, r)
+        assert t_slow.seconds > 1.5 * t_fast.seconds
+
+    def test_longer_bursts_reduce_transfer_bound(self):
+        short = FpgaModel(n_work_items=8, burst_words=4)
+        long_ = FpgaModel(n_work_items=8, burst_words=256)
+        r = self._rejection("icdf")
+        assert (
+            long_.estimate(SETUP.total_outputs, SETUP.num_sectors, r).seconds
+            < short.estimate(SETUP.total_outputs, SETUP.num_sectors, r).seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaModel(n_work_items=0)
+        with pytest.raises(ValueError):
+            FpgaModel(ii=0)
+        with pytest.raises(ValueError):
+            eq1_theoretical_runtime(1, 1, 1, 1e6, 1.0)
+        with pytest.raises(ValueError):
+            FpgaModel().estimate(0, 1, 0.1)
+
+
+class TestSpeedupShape:
+    def test_config1_fpga_beats_everyone(self):
+        """Table III headline: FPGA wins Config1 with ~5.5x over CPU."""
+        r = 1.0 - measured_path_rates(
+            "marsaglia_bray", SETUP.sector_variance
+        ).combined_accept
+        fpga = FpgaModel(n_work_items=6).estimate(
+            SETUP.total_outputs, SETUP.num_sectors, r
+        ).seconds
+        cpu = _estimate("CPU", "marsaglia_bray", "cuda", 624).seconds
+        gpu = _estimate("GPU", "marsaglia_bray", "cuda", 624).seconds
+        phi = _estimate("PHI", "marsaglia_bray", "cuda", 624).seconds
+        assert cpu / fpga > 4.0  # paper: 5.5x
+        assert gpu / fpga > 2.5  # paper: 3.5x
+        assert phi / fpga > 1.1  # paper: 1.4x
+
+    def test_config4_phi_gpu_overtake_fpga(self):
+        """Table III crossover: with the low-rejection ICDF and the small
+        twister, PHI and GPU catch up to / beat the transfer-bound FPGA."""
+        r = 1.0 - measured_path_rates(
+            "icdf_fpga", SETUP.sector_variance
+        ).combined_accept
+        fpga = FpgaModel(n_work_items=8).estimate(
+            SETUP.total_outputs, SETUP.num_sectors, r
+        ).seconds
+        gpu = _estimate("GPU", "icdf", "cuda", 17).seconds
+        phi = _estimate("PHI", "icdf", "cuda", 17).seconds
+        assert gpu < 1.1 * fpga  # paper: FPGA at 0.8x of GPU
+        assert phi < 1.0 * fpga  # paper: FPGA at 0.7x of PHI

@@ -1,0 +1,121 @@
+"""Cross-validation of the closed-form lockstep model via simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import expected_max_geometric, render_fig2, simulate_partition
+
+
+class TestSimulatePartition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_partition(0, 4, 0.5)
+        with pytest.raises(ValueError):
+            simulate_partition(4, 0, 0.5)
+        with pytest.raises(ValueError):
+            simulate_partition(4, 4, 0.0)
+
+    def test_deterministic(self):
+        a = simulate_partition(8, 4, 0.7, runs=16, seed=3)
+        b = simulate_partition(8, 4, 0.7, runs=16, seed=3)
+        np.testing.assert_array_equal(a.iterations, b.iterations)
+
+    def test_no_rejection_takes_exactly_quota(self):
+        res = simulate_partition(8, 5, 1.0, runs=8)
+        assert np.all(res.iterations == 5)
+        assert res.efficiency == 1.0
+
+    def test_width_one_efficiency_is_acceptance_rate(self):
+        res = simulate_partition(1, 16, 0.7, runs=600, seed=2)
+        assert res.efficiency == pytest.approx(0.7, abs=0.02)
+
+    def test_every_lane_reaches_quota(self):
+        res = simulate_partition(8, 4, 0.7, runs=1)
+        for lane in res.lane_activity:
+            assert lane.count("A") == 4
+
+    def test_idle_lanes_appear_with_rejection(self):
+        res = simulate_partition(16, 4, 0.5, runs=1, seed=5)
+        assert any("." in lane for lane in res.lane_activity)
+        assert res.efficiency < 1.0
+
+    def test_width_one_never_idles(self):
+        res = simulate_partition(1, 8, 0.5, runs=4)
+        assert all("." not in lane for lane in res.lane_activity)
+
+    def test_lane_symbols(self):
+        res = simulate_partition(4, 3, 0.6, runs=1)
+        for lane in res.lane_activity:
+            assert set(lane) <= {"A", "r", "."}
+
+
+class TestClosedFormCrossValidation:
+    @pytest.mark.parametrize("width,p", [(8, 0.767), (32, 0.767), (16, 0.977)])
+    def test_mean_iterations_match_e_max_geometric(self, width, p):
+        """For quota=1 the simulated mean partition iterations must match
+        E[max of W geometrics] — the formula the runtime models use."""
+        res = simulate_partition(width, 1, p, runs=6000, seed=11)
+        analytic = expected_max_geometric(p, width)
+        assert res.mean_iterations == pytest.approx(analytic, rel=0.03)
+
+    def test_quota_scaling_sublinear_straggler(self):
+        """Straggler overhead per output shrinks as the quota grows
+        (fluctuations average out) — the straggler_factor behaviour."""
+        p = 0.767
+        per_output_small = simulate_partition(8, 1, p, runs=2000).mean_iterations
+        res_large = simulate_partition(8, 64, p, runs=300, seed=3)
+        per_output_large = res_large.mean_iterations / 64
+        assert per_output_large < per_output_small
+        assert per_output_large > 1.0 / p  # but never below the mean
+
+    def test_efficiency_decreases_with_width(self):
+        effs = [
+            simulate_partition(w, 8, 0.767, runs=400, seed=9).efficiency
+            for w in (1, 8, 32)
+        ]
+        assert effs[0] > effs[1] > effs[2]
+
+
+class TestFig2Rendering:
+    def test_three_panels(self):
+        out = render_fig2()
+        assert "(a) lockstep, no divergence" in out
+        assert "(b) lockstep with rejection" in out
+        assert "(c) decoupled" in out
+
+    def test_panel_a_all_useful(self):
+        out = render_fig2()
+        panel_a = out.split("(b)")[0]
+        bodies = [
+            line.split("|")[1]
+            for line in panel_a.splitlines()
+            if line.count("|") == 2
+        ]
+        assert bodies, "panel (a) rendered no lanes"
+        for body in bodies:
+            assert set(body) == {"A"}  # no rejections, no idle markers
+
+    def test_panel_b_has_red_dots(self):
+        out = render_fig2(accept_prob=0.5, quota=3, seed=2)
+        panel_b = out.split("(b)")[1].split("(c)")[0]
+        lane_bodies = [l.split("|")[1] for l in panel_b.splitlines() if "|" in l]
+        assert any("." in body for body in lane_bodies)
+
+    def test_panel_c_no_idles(self):
+        out = render_fig2()
+        panel_c = out.split("(c)")[1]
+        lane_bodies = [l.split("|")[1] for l in panel_c.splitlines() if "|" in l]
+        assert all("." not in body for body in lane_bodies)
+
+
+@given(
+    width=st.integers(min_value=1, max_value=32),
+    quota=st.integers(min_value=1, max_value=8),
+    p=st.floats(min_value=0.2, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_prop_iterations_at_least_quota(width, quota, p):
+    res = simulate_partition(width, quota, p, runs=8, seed=1)
+    assert np.all(res.iterations >= quota)
+    assert 0.0 < res.efficiency <= 1.0

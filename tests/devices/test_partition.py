@@ -1,0 +1,143 @@
+"""Tests for the lockstep divergence/straggler mathematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    attempt_cycles_decoupled,
+    attempt_cycles_lockstep,
+    attempt_profile,
+    divergence_factor,
+    expected_max_geometric,
+    partition_branch_probability,
+    straggler_factor,
+)
+
+
+class TestBranchProbability:
+    def test_certain_branch(self):
+        assert partition_branch_probability(1.0, 32) == 1.0
+
+    def test_never_branch(self):
+        assert partition_branch_probability(0.0, 32) == 0.0
+
+    def test_width_one_is_lane_probability(self):
+        assert partition_branch_probability(0.3, 1) == pytest.approx(0.3)
+
+    def test_rare_branch_near_certain_for_warps(self):
+        """A 5 % per-lane branch fires for 80 % of 32-wide warps — the
+        Fig 2b amplification."""
+        assert partition_branch_probability(0.05, 32) > 0.8
+
+    def test_monotone_in_width(self):
+        ps = [partition_branch_probability(0.1, w) for w in (1, 2, 8, 32, 64)]
+        assert all(b > a for a, b in zip(ps, ps[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_branch_probability(0.5, 0)
+        with pytest.raises(ValueError):
+            partition_branch_probability(1.5, 4)
+
+
+class TestExpectedMaxGeometric:
+    def test_p_one(self):
+        assert expected_max_geometric(1.0, 32) == 1.0
+
+    def test_width_one_is_geometric_mean(self):
+        assert expected_max_geometric(0.25, 1) == pytest.approx(4.0, rel=1e-6)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        p, w = 0.767, 8
+        samples = rng.geometric(p, size=(200_000, w)).max(axis=1).mean()
+        assert expected_max_geometric(p, w) == pytest.approx(samples, rel=0.01)
+
+    def test_monotone_in_width(self):
+        vals = [expected_max_geometric(0.767, w) for w in (1, 8, 16, 32, 64)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_in_rejection(self):
+        assert expected_max_geometric(0.5, 16) > expected_max_geometric(0.9, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_geometric(0.0, 8)
+        with pytest.raises(ValueError):
+            expected_max_geometric(0.5, 0)
+
+
+class TestLockstepCycles:
+    def test_decoupled_is_width_one(self):
+        p = attempt_profile("marsaglia_bray", 1.39)
+        assert attempt_cycles_decoupled("CPU", p) == pytest.approx(
+            attempt_cycles_lockstep("CPU", p, 1)
+        )
+
+    def test_lockstep_cost_grows_with_width(self):
+        p = attempt_profile("marsaglia_bray", 1.39)
+        costs = [attempt_cycles_lockstep("GPU", p, w) for w in (1, 4, 16, 64)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_divergence_factor_at_least_one(self):
+        p = attempt_profile("marsaglia_bray", 1.39)
+        for dev in ("CPU", "GPU", "PHI"):
+            for w in (1, 8, 32):
+                assert divergence_factor(dev, p, w) >= 1.0
+
+    def test_divergence_factor_larger_for_mb_than_icdf(self):
+        """Divergent-branch inflation is what separates the transforms."""
+        mb = attempt_profile("marsaglia_bray", 1.39)
+        ic = attempt_profile("icdf", 1.39)
+        assert divergence_factor("GPU", mb, 32) > divergence_factor("GPU", ic, 32)
+
+
+class TestStragglerFactor:
+    def test_width_one_is_one(self):
+        assert straggler_factor(1, 100, 0.7) == 1.0
+
+    def test_accept_one_is_one(self):
+        assert straggler_factor(32, 100, 1.0) == 1.0
+
+    def test_grows_with_width(self):
+        f8 = straggler_factor(8, 50, 0.7)
+        f64 = straggler_factor(64, 50, 0.7)
+        assert 1.0 < f8 < f64
+
+    def test_shrinks_with_quota(self):
+        # relative fluctuation of the sum shrinks as quota grows
+        f_small = straggler_factor(16, 5, 0.7)
+        f_large = straggler_factor(16, 500, 0.7)
+        assert f_large < f_small
+
+    def test_deterministic(self):
+        assert straggler_factor(16, 50, 0.7) == straggler_factor(16, 50, 0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            straggler_factor(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            straggler_factor(4, 0, 0.5)
+        with pytest.raises(ValueError):
+            straggler_factor(4, 10, 0.0)
+
+
+@given(
+    p=st.floats(min_value=0.05, max_value=1.0),
+    w=st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=100)
+def test_prop_max_geometric_at_least_mean(p, w):
+    # >= the single-lane mean, up to the series truncation tolerance
+    assert expected_max_geometric(p, w) >= (1.0 / p) * (1.0 - 1e-7)
+
+
+@given(
+    lane_p=st.floats(min_value=0.0, max_value=1.0),
+    w=st.integers(min_value=1, max_value=256),
+)
+@settings(max_examples=100)
+def test_prop_branch_probability_bounds(lane_p, w):
+    pp = partition_branch_probability(lane_p, w)
+    assert lane_p - 1e-12 <= pp <= 1.0

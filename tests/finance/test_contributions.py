@@ -1,0 +1,124 @@
+"""Tests for the analytic variance decomposition and risk contributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finance import (
+    MonteCarloEngine,
+    Obligor,
+    Portfolio,
+    Sector,
+    analytic_loss_distribution,
+    granular_portfolio,
+    concentrated_portfolio,
+    variance_decomposition,
+)
+
+
+def _unit_portfolio(n=40, sectors=(1.39, 0.8), seed=3):
+    """Integer exposures so the Panjer comparison is banding-exact."""
+    port = Portfolio([Sector(f"s{i}", v) for i, v in enumerate(sectors)])
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        port.add(
+            Obligor.single_sector(
+                float(rng.integers(1, 5)),
+                float(rng.uniform(0.005, 0.03)),
+                i % len(sectors),
+            )
+        )
+    return port
+
+
+class TestDecomposition:
+    def test_expected_loss_matches_portfolio(self):
+        port = _unit_portfolio()
+        d = variance_decomposition(port)
+        assert d.expected_loss == pytest.approx(port.expected_loss)
+
+    def test_parts_sum_to_variance(self):
+        d = variance_decomposition(_unit_portfolio())
+        assert d.variance == pytest.approx(
+            d.idiosyncratic_variance + d.systematic_variance
+        )
+        assert d.systematic_variance == pytest.approx(
+            float(np.sum(d.sector_systematic))
+        )
+
+    def test_contributions_sum_exactly_to_variance(self):
+        d = variance_decomposition(_unit_portfolio())
+        assert float(np.sum(d.obligor_contributions)) == pytest.approx(
+            d.variance, rel=1e-12
+        )
+
+    def test_matches_panjer_variance(self):
+        """Two independent analytic routes to Var(L) must agree."""
+        port = _unit_portfolio()
+        d = variance_decomposition(port)
+        pmf = analytic_loss_distribution(port, 1.0, 500)
+        grid = np.arange(pmf.size, dtype=np.float64)
+        mean = float(pmf @ grid)
+        var = float(pmf @ grid**2) - mean**2
+        assert d.variance == pytest.approx(var, rel=1e-4)
+
+    def test_matches_monte_carlo(self):
+        port = _unit_portfolio()
+        d = variance_decomposition(port)
+        mc = MonteCarloEngine(port, seed=7).run(scenarios=60_000)
+        assert mc.loss_std == pytest.approx(d.loss_std, rel=0.05)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            variance_decomposition(Portfolio([Sector("a", 1.0)]))
+
+
+class TestRiskReading:
+    def test_higher_variance_sector_dominates(self):
+        port = Portfolio([Sector("calm", 0.1), Sector("wild", 5.0)])
+        for k in (0, 1):
+            for _ in range(20):
+                port.add(Obligor.single_sector(1.0, 0.02, k))
+        d = variance_decomposition(port)
+        assert d.sector_systematic[1] > 10 * d.sector_systematic[0]
+
+    def test_concentrated_book_less_diversified(self):
+        g = variance_decomposition(granular_portfolio(seed=4))
+        c = variance_decomposition(concentrated_portfolio(seed=4))
+        # concentration inflates the idiosyncratic share
+        assert (
+            c.idiosyncratic_variance / c.variance
+            > g.idiosyncratic_variance / g.variance
+        )
+
+    def test_top_contributors_are_largest_names(self):
+        port = concentrated_portfolio(n_obligors=50, seed=6)
+        d = variance_decomposition(port)
+        top_idx = d.top_contributors(1)[0][0]
+        assert port.exposures()[top_idx] == pytest.approx(
+            port.exposures().max()
+        )
+
+    def test_diversification_ratio_bounds(self):
+        d = variance_decomposition(_unit_portfolio())
+        assert 0.0 < d.diversification_ratio < 1.0
+
+
+@given(
+    v=st.floats(min_value=0.05, max_value=5.0),
+    n=st.integers(min_value=1, max_value=25),
+    pd_=st.floats(min_value=0.001, max_value=0.08),
+)
+@settings(max_examples=30, deadline=None)
+def test_prop_decomposition_consistent_with_panjer(v, n, pd_):
+    port = Portfolio([Sector("a", v)])
+    for _ in range(n):
+        port.add(Obligor.single_sector(1.0, pd_, 0))
+    d = variance_decomposition(port)
+    pmf = analytic_loss_distribution(port, 1.0, 60 + 12 * n)
+    grid = np.arange(pmf.size, dtype=np.float64)
+    mean = float(pmf @ grid)
+    var = float(pmf @ grid**2) - mean**2
+    # truncation can clip a sliver of the tail; allow a small relative gap
+    assert d.variance == pytest.approx(var, rel=5e-3)
+    assert float(np.sum(d.obligor_contributions)) == pytest.approx(d.variance)

@@ -1,0 +1,231 @@
+"""Tests for the Monte-Carlo engine, the analytic baseline and risk measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finance import (
+    MonteCarloEngine,
+    Obligor,
+    Portfolio,
+    Sector,
+    analytic_loss_distribution,
+    expected_shortfall,
+    loss_statistics,
+    quantile_from_pmf,
+    value_at_risk,
+)
+from repro.finance.panjer import exp_series, log_series_neg
+
+
+def _small_portfolio(n=40, sectors=(1.39, 0.8), seed=3):
+    port = Portfolio([Sector(f"s{i}", v) for i, v in enumerate(sectors)])
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        port.add(
+            Obligor.single_sector(
+                float(rng.integers(1, 5)),
+                float(rng.uniform(0.005, 0.03)),
+                i % len(sectors),
+            )
+        )
+    return port
+
+
+class TestSeriesPrimitives:
+    def test_log_series_matches_scalar_log(self):
+        # q(z) = 0.3 z: -log(1 - 0.3 z) = sum (0.3 z)^m / m
+        q = np.zeros(8)
+        q[1] = 0.3
+        a = log_series_neg(q)
+        expected = [0.3**m / m for m in range(1, 8)]
+        np.testing.assert_allclose(a[1:], expected)
+
+    def test_log_series_rejects_constant(self):
+        with pytest.raises(ValueError):
+            log_series_neg(np.array([0.1, 0.2]))
+
+    def test_exp_series_matches_exp(self):
+        # l(z) = z: exp(z) coefficients are 1/n!
+        l = np.zeros(10)
+        l[1] = 1.0
+        g = exp_series(l)
+        import math
+
+        np.testing.assert_allclose(g, [1 / math.factorial(n) for n in range(10)])
+
+    def test_exp_series_constant(self):
+        g = exp_series(np.zeros(4), constant=np.log(2.0))
+        np.testing.assert_allclose(g, [2.0, 0, 0, 0])
+
+    def test_exp_log_roundtrip(self):
+        rng = np.random.default_rng(1)
+        q = np.zeros(30)
+        q[1:6] = rng.uniform(0, 0.1, 5)
+        g = exp_series(log_series_neg(q))
+        # exp(-log(1-q)) = 1/(1-q): verify via (1-q) * g == 1
+        one = np.convolve(np.concatenate([[1.0], -q[1:]]), g)[:30]
+        np.testing.assert_allclose(one, np.eye(30)[0], atol=1e-12)
+
+
+class TestAnalyticDistribution:
+    def test_pmf_is_distribution(self):
+        pmf = analytic_loss_distribution(_small_portfolio(), 1.0, 300)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_matches_expected_loss(self):
+        port = _small_portfolio()
+        pmf = analytic_loss_distribution(port, 1.0, 300)
+        mean = float(np.dot(pmf, np.arange(pmf.size)))
+        assert mean == pytest.approx(port.expected_loss, rel=1e-6)
+
+    def test_zero_loss_probability(self):
+        """P(loss = 0) = prod_k ((1-d_k)/(1-d_k P_k(0)))^(1/v_k)."""
+        port = Portfolio([Sector("a", 1.0)])
+        port.add(Obligor.single_sector(1.0, 0.01, 0))
+        pmf = analytic_loss_distribution(port, 1.0, 50)
+        # single obligor, mu = 0.01, d = 0.01/1.01
+        d = 0.01 / 1.01
+        assert pmf[0] == pytest.approx((1 - d) ** 1.0, rel=1e-9)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_loss_distribution(Portfolio([Sector("a", 1.0)]), 1.0, 10)
+
+    def test_truncation_validated(self):
+        with pytest.raises(ValueError):
+            analytic_loss_distribution(_small_portfolio(), 1.0, 0)
+
+    def test_higher_variance_fattens_tail(self):
+        """The paper's motivation: bigger sector variance = worse tail."""
+        base = Portfolio([Sector("a", 0.1)])
+        risky = Portfolio([Sector("a", 4.0)])
+        for p in (base, risky):
+            for _ in range(20):
+                p.add(Obligor.single_sector(1.0, 0.02, 0))
+        pmf_lo = analytic_loss_distribution(base, 1.0, 100)
+        pmf_hi = analytic_loss_distribution(risky, 1.0, 100)
+        assert quantile_from_pmf(pmf_hi, 1.0, 0.999) > quantile_from_pmf(
+            pmf_lo, 1.0, 0.999
+        )
+
+
+class TestMonteCarlo:
+    def test_el_matches_analytic(self):
+        port = _small_portfolio()
+        res = MonteCarloEngine(port, seed=5).run(scenarios=30_000)
+        assert res.expected_loss == pytest.approx(port.expected_loss, rel=0.05)
+
+    def test_mc_matches_panjer_distribution(self):
+        """The headline cross-validation: simulated losses against the
+        analytic PGF distribution (mean, std and a far quantile)."""
+        port = _small_portfolio()
+        pmf = analytic_loss_distribution(port, 1.0, 400)
+        res = MonteCarloEngine(port, seed=11).run(scenarios=60_000)
+        grid = np.arange(pmf.size)
+        mean_a = float(np.dot(pmf, grid))
+        var_a = float(np.dot(pmf, grid**2)) - mean_a**2
+        assert res.expected_loss == pytest.approx(mean_a, rel=0.05)
+        assert res.loss_std == pytest.approx(np.sqrt(var_a), rel=0.08)
+        q_a = quantile_from_pmf(pmf, 1.0, 0.99)
+        q_mc = value_at_risk(res.losses, 0.99)
+        assert q_mc == pytest.approx(q_a, rel=0.15)
+
+    def test_external_sector_draws(self):
+        port = _small_portfolio()
+        eng = MonteCarloEngine(port, seed=5)
+        draws = eng.draw_sectors(5000)
+        res = eng.run(sector_draws=draws)
+        assert res.scenarios == 5000
+        assert res.sector_draw_stats["mean_factor"] == pytest.approx(1.0, abs=0.1)
+
+    def test_both_inputs_rejected(self):
+        eng = MonteCarloEngine(_small_portfolio())
+        with pytest.raises(ValueError):
+            eng.run()
+        with pytest.raises(ValueError):
+            eng.run(scenarios=10, sector_draws=np.ones((10, 2)))
+
+    def test_draw_shape_validated(self):
+        eng = MonteCarloEngine(_small_portfolio())
+        with pytest.raises(ValueError):
+            eng.run(sector_draws=np.ones((10, 7)))
+
+    def test_negative_factors_rejected(self):
+        eng = MonteCarloEngine(_small_portfolio())
+        with pytest.raises(ValueError):
+            eng.run(sector_draws=-np.ones((10, 2)))
+
+    def test_bernoulli_mode(self):
+        port = _small_portfolio()
+        res = MonteCarloEngine(port, poisson_defaults=False, seed=9).run(
+            scenarios=20_000
+        )
+        assert res.expected_loss == pytest.approx(port.expected_loss, rel=0.08)
+
+    def test_reproducible(self):
+        port = _small_portfolio()
+        a = MonteCarloEngine(port, seed=3).run(scenarios=1000)
+        b = MonteCarloEngine(port, seed=3).run(scenarios=1000)
+        np.testing.assert_array_equal(a.losses, b.losses)
+
+    def test_bad_scenario_factor_state(self):
+        """A bad economy scenario (large sector draw) must raise losses —
+        'the larger the simulated gamma variable is, the worse is this
+        financial sector' (§II-D4)."""
+        port = _small_portfolio(sectors=(1.39,))
+        eng = MonteCarloEngine(port, seed=5)
+        calm = eng.run(sector_draws=np.full((4000, 1), 0.2))
+        crisis = eng.run(sector_draws=np.full((4000, 1), 5.0))
+        assert crisis.expected_loss > 10 * calm.expected_loss
+
+
+class TestRiskMeasures:
+    def test_var_quantile(self):
+        losses = np.arange(1000, dtype=np.float64)
+        assert value_at_risk(losses, 0.99) == pytest.approx(989.01)
+
+    def test_es_above_var(self):
+        rng = np.random.default_rng(2)
+        losses = rng.exponential(1.0, 50_000)
+        var = value_at_risk(losses, 0.99)
+        es = expected_shortfall(losses, 0.99)
+        assert es > var
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            value_at_risk(np.ones(10), 1.0)
+        with pytest.raises(ValueError):
+            expected_shortfall(np.ones(10), 0.0)
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError):
+            value_at_risk(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            loss_statistics(np.array([]))
+
+    def test_statistics_block(self):
+        stats = loss_statistics(np.arange(100, dtype=np.float64))
+        assert stats["scenarios"] == 100
+        assert stats["expected_loss"] == pytest.approx(49.5)
+        assert stats["var_99"] >= stats["expected_loss"]
+
+    def test_quantile_from_pmf_degenerate(self):
+        pmf = np.array([0.0, 1.0, 0.0])
+        assert quantile_from_pmf(pmf, 2.0, 0.5) == 2.0
+
+
+@given(
+    v=st.floats(min_value=0.05, max_value=5.0),
+    p_def=st.floats(min_value=0.001, max_value=0.1),
+    n=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=30, deadline=None)
+def test_prop_analytic_mean_equals_expected_loss(v, p_def, n):
+    port = Portfolio([Sector("a", v)])
+    for _ in range(n):
+        port.add(Obligor.single_sector(1.0, p_def, 0))
+    pmf = analytic_loss_distribution(port, 1.0, 40 + 8 * n)
+    mean = float(np.dot(pmf, np.arange(pmf.size)))
+    assert mean == pytest.approx(port.expected_loss, rel=1e-3)

@@ -1,0 +1,116 @@
+"""Tests for sectors, obligors, portfolios and banding."""
+
+import numpy as np
+import pytest
+
+from repro.finance import Obligor, Portfolio, Sector, gamma_parameters
+from repro.finance.sectors import paper_sectors
+
+
+class TestSector:
+    def test_gamma_parameterization(self):
+        """Section II-D4: a_k = 1/v_k, b_k = v_k, E = 1, Var = v."""
+        s = Sector("s", 1.39)
+        assert s.shape == pytest.approx(1 / 1.39)
+        assert s.scale == 1.39
+        assert s.mean == pytest.approx(1.0)
+
+    def test_gamma_parameters_function(self):
+        a, b = gamma_parameters(2.0)
+        assert (a, b) == (0.5, 2.0)
+        with pytest.raises(ValueError):
+            gamma_parameters(0.0)
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError):
+            Sector("bad", -1.0)
+
+    def test_paper_sectors(self):
+        secs = paper_sectors()
+        assert len(secs) == 240
+        assert all(s.variance == 1.39 for s in secs)
+
+
+class TestObligor:
+    def test_single_sector_constructor(self):
+        o = Obligor.single_sector(100.0, 0.01, 3)
+        assert o.sector_weights == ((3, 1.0),)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Obligor(100.0, 0.01, ((0, 0.5), (1, 0.3)))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Obligor(100.0, 0.01, ((0, 1.5), (1, -0.5)))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Obligor(100.0, 0.0, ((0, 1.0),))
+        with pytest.raises(ValueError):
+            Obligor(100.0, 1.0, ((0, 1.0),))
+
+    def test_positive_exposure(self):
+        with pytest.raises(ValueError):
+            Obligor(0.0, 0.01, ((0, 1.0),))
+
+    def test_multi_sector_weights(self):
+        o = Obligor(50.0, 0.02, ((0, 0.6), (2, 0.4)))
+        assert dict(o.sector_weights) == {0: 0.6, 2: 0.4}
+
+
+class TestPortfolio:
+    def _portfolio(self):
+        p = Portfolio([Sector("a", 1.0), Sector("b", 2.0)])
+        p.add(Obligor.single_sector(10.0, 0.01, 0))
+        p.add(Obligor.single_sector(20.0, 0.02, 1))
+        return p
+
+    def test_totals(self):
+        p = self._portfolio()
+        assert p.total_exposure == 30.0
+        assert p.expected_loss == pytest.approx(10 * 0.01 + 20 * 0.02)
+
+    def test_sector_reference_validated(self):
+        p = self._portfolio()
+        with pytest.raises(ValueError, match="references sector"):
+            p.add(Obligor.single_sector(10.0, 0.01, 7))
+
+    def test_weight_matrix(self):
+        w = self._portfolio().weight_matrix()
+        np.testing.assert_array_equal(w, [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_vector_views(self):
+        p = self._portfolio()
+        np.testing.assert_array_equal(p.exposures(), [10.0, 20.0])
+        np.testing.assert_array_equal(p.default_probabilities(), [0.01, 0.02])
+
+
+class TestBanding:
+    def test_bands_preserve_expected_loss(self):
+        p = Portfolio([Sector("a", 1.0)])
+        p.add(Obligor.single_sector(17.3, 0.01, 0))
+        p.add(Obligor.single_sector(4.9, 0.02, 0))
+        bands, p_adj = p.bands(loss_unit=5.0)
+        el_banded = np.sum(bands * 5.0 * p_adj)
+        assert el_banded == pytest.approx(p.expected_loss)
+
+    def test_minimum_band_is_one(self):
+        p = Portfolio([Sector("a", 1.0)])
+        p.add(Obligor.single_sector(0.4, 0.01, 0))
+        bands, _ = p.bands(loss_unit=5.0)
+        assert bands[0] == 1
+
+    def test_invalid_loss_unit(self):
+        p = Portfolio([Sector("a", 1.0)])
+        p.add(Obligor.single_sector(1.0, 0.01, 0))
+        with pytest.raises(ValueError):
+            p.bands(0.0)
+
+    def test_probability_overflow_detected(self):
+        # band rounds 1.49 down to 1 unit; preserving the expected loss
+        # would need p_adj = 0.7 * 1.49 > 1
+        p = Portfolio([Sector("a", 1.0)])
+        p.add(Obligor.single_sector(1.49, 0.7, 0))
+        with pytest.raises(ValueError, match="above 1"):
+            p.bands(loss_unit=1.0)

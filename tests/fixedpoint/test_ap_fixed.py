@@ -1,0 +1,158 @@
+"""Tests for ApFixed / ApUFixed quantization and overflow semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import ApFixed, ApUFixed, Overflow, Quantization
+
+
+class TestLayout:
+    def test_frac_bits(self):
+        assert ApFixed(16, 4).frac_bits == 12
+
+    def test_ulp(self):
+        assert ApFixed(16, 4).ulp == 2.0**-12
+
+    def test_signed_range(self):
+        x = ApFixed(8, 4)  # Q4.4
+        assert x.min_value == -8.0
+        assert x.max_value == 8.0 - 2.0**-4
+
+    def test_unsigned_range(self):
+        x = ApUFixed(8, 4)
+        assert x.min_value == 0.0
+        assert x.max_value == 16.0 - 2.0**-4
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ApFixed(0, 0)
+
+
+class TestQuantization:
+    def test_exact_value_preserved(self):
+        assert ApFixed(16, 8, 1.5).to_float() == 1.5
+
+    def test_truncation_toward_minus_inf(self):
+        # ulp = 0.25 for <8,6>; 1.30 truncates down to 1.25
+        assert ApFixed(8, 6, 1.30).to_float() == 1.25
+        assert ApFixed(8, 6, -1.30).to_float() == -1.50
+
+    def test_rounding_mode(self):
+        assert ApFixed(8, 6, 1.30, quantization=Quantization.RND).to_float() == 1.25
+        assert ApFixed(8, 6, 1.40, quantization=Quantization.RND).to_float() == 1.50
+
+    def test_rnd_half_goes_up(self):
+        assert ApFixed(8, 6, 1.125, quantization=Quantization.RND).to_float() == 1.25
+
+
+class TestOverflow:
+    def test_saturation_high(self):
+        x = ApFixed(8, 4, 100.0, overflow=Overflow.SAT)
+        assert x.to_float() == x.max_value
+
+    def test_saturation_low(self):
+        x = ApFixed(8, 4, -100.0, overflow=Overflow.SAT)
+        assert x.to_float() == x.min_value
+
+    def test_wrap(self):
+        # Q4.4: 8.0 wraps to -8.0
+        assert ApFixed(8, 4, 8.0).to_float() == -8.0
+
+    def test_unsigned_wrap(self):
+        assert ApUFixed(8, 4, 16.0).to_float() == 0.0
+
+    def test_unsigned_sat(self):
+        x = ApUFixed(8, 4, -1.0, overflow=Overflow.SAT)
+        assert x.to_float() == 0.0
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert (ApFixed(16, 8, 1.5) + ApFixed(16, 8, 2.25)).to_float() == 3.75
+
+    def test_add_float(self):
+        assert (ApFixed(16, 8, 1.5) + 0.25).to_float() == 1.75
+
+    def test_sub(self):
+        assert (ApFixed(16, 8, 1.5) - 2.0).to_float() == -0.5
+
+    def test_mul(self):
+        assert (ApFixed(16, 8, 1.5) * 2).to_float() == 3.0
+
+    def test_div(self):
+        assert (ApFixed(16, 8, 3.0) / 2).to_float() == 1.5
+
+    def test_neg_abs(self):
+        assert (-ApFixed(16, 8, 1.5)).to_float() == -1.5
+        assert abs(ApFixed(16, 8, -1.5)).to_float() == 1.5
+
+    def test_result_requantized(self):
+        # product 1.25*1.25 = 1.5625 needs 4 frac bits; <8,6> has 2 → truncated
+        assert (ApFixed(8, 6, 1.25) * ApFixed(8, 6, 1.25)).to_float() == 1.5
+
+    def test_comparisons(self):
+        assert ApFixed(16, 8, 1.0) < ApFixed(16, 8, 2.0)
+        assert ApFixed(16, 8, 1.0) == 1.0
+        assert ApFixed(16, 8, 1.0) <= 1.0
+        assert ApFixed(16, 8, 2.0) > 1.0
+
+
+class TestRawRoundtrip:
+    def test_from_raw(self):
+        x = ApFixed(8, 4, 1.25)
+        y = ApFixed.from_raw(8, 4, x.raw)
+        assert y.to_float() == 1.25
+
+    def test_from_raw_negative(self):
+        x = ApFixed(8, 4, -1.25)
+        assert ApFixed.from_raw(8, 4, x.raw).to_float() == -1.25
+
+    def test_raw_is_unsigned_pattern(self):
+        assert ApFixed(8, 4, -0.0625).raw == 0xFF
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+fmt = st.tuples(
+    st.integers(min_value=2, max_value=32),  # width
+    st.integers(min_value=1, max_value=16),  # int width (kept <= width)
+).map(lambda t: (max(t[0], t[1] + 1), t[1]))
+
+
+@given(f=fmt, v=st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+def test_prop_quantization_error_bounded(f, v):
+    w, i = f
+    x = ApFixed(w, i, v, overflow=Overflow.SAT)
+    clamped = min(max(v, x.min_value), x.max_value)
+    # strict < holds in exact arithmetic; <= allows for float64 rounding of
+    # the error term itself (e.g. |−0.5 − (−1e-228)| rounds to exactly 0.5)
+    assert abs(x.to_float() - clamped) <= x.ulp
+
+
+@given(f=fmt, v=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_prop_raw_roundtrip(f, v):
+    w, i = f
+    x = ApFixed(w, i, v)
+    assert ApFixed.from_raw(w, i, x.raw).to_float() == x.to_float()
+
+
+@given(f=fmt, v=st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_prop_value_in_declared_range(f, v):
+    w, i = f
+    x = ApFixed(w, i, v, overflow=Overflow.SAT)
+    assert x.min_value <= x.to_float() <= x.max_value
+
+
+@given(
+    f=fmt,
+    a=st.floats(min_value=-3, max_value=3, allow_nan=False),
+)
+def test_prop_trn_never_increases(f, a):
+    w, i = f
+    x = ApFixed(w, i, a, overflow=Overflow.SAT)
+    clamped = min(max(a, x.min_value), x.max_value)
+    assert x.to_float() <= clamped or math.isclose(x.to_float(), clamped)

@@ -1,0 +1,226 @@
+"""Unit and property tests for ApUInt / ApInt HLS semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import ApInt, ApUInt, bit_reverse, concat
+
+
+class TestApUIntConstruction:
+    def test_value_masked_to_width(self):
+        assert ApUInt(8, 0x1FF).value == 0xFF
+
+    def test_zero_default(self):
+        assert ApUInt(32).value == 0
+
+    def test_negative_init_wraps(self):
+        assert ApUInt(8, -1).value == 0xFF
+
+    def test_width_one_allowed(self):
+        assert ApUInt(1, 3).value == 1
+
+    @pytest.mark.parametrize("bad", [0, -4, 1.5, "8"])
+    def test_invalid_width_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            ApUInt(bad, 0)
+
+    def test_init_from_other_ap_uint(self):
+        assert ApUInt(4, ApUInt(8, 0xAB)).value == 0xB
+
+
+class TestApUIntArithmetic:
+    def test_add_wraps(self):
+        assert (ApUInt(8, 250) + 10).value == 4
+
+    def test_sub_wraps(self):
+        assert (ApUInt(8, 3) - 5).value == 254
+
+    def test_mul_wraps(self):
+        assert (ApUInt(8, 16) * 16).value == 0
+
+    def test_radd(self):
+        assert (3 + ApUInt(8, 4)).value == 7
+
+    def test_floordiv(self):
+        assert (ApUInt(8, 100) // 7).value == 14
+
+    def test_mod(self):
+        assert (ApUInt(8, 100) % 7).value == 2
+
+    def test_width_preserved(self):
+        assert (ApUInt(13, 5) + 1).width == 13
+
+
+class TestApUIntBitwise:
+    def test_lshift_drops_msbs(self):
+        assert (ApUInt(8, 0x81) << 1).value == 0x02
+
+    def test_rshift(self):
+        assert (ApUInt(8, 0x81) >> 4).value == 0x08
+
+    def test_invert(self):
+        assert (~ApUInt(8, 0x0F)).value == 0xF0
+
+    def test_xor_and_or(self):
+        a, b = ApUInt(8, 0b1100), ApUInt(8, 0b1010)
+        assert (a ^ b).value == 0b0110
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+
+    def test_count_ones(self):
+        assert ApUInt(16, 0xF0F0).count_ones() == 8
+
+
+class TestApUIntBitAccess:
+    def test_single_bit(self):
+        x = ApUInt(8, 0b10000001)
+        assert x[0].value == 1
+        assert x[7].value == 1
+        assert x[3].value == 0
+
+    def test_single_bit_width_is_one(self):
+        assert ApUInt(8, 0xFF)[5].width == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            ApUInt(8, 0)[8]
+
+    def test_range_hls_order(self):
+        x = ApUInt(8, 0b1011_0110)
+        assert x[7:4].value == 0b1011
+        assert x[3:0].value == 0b0110
+
+    def test_range_width(self):
+        assert ApUInt(32, 0)[19:4].width == 16
+
+    def test_range_method_matches_slice(self):
+        x = ApUInt(12, 0xABC)
+        assert x.range(11, 8).value == x[11:8].value == 0xA
+
+    def test_range_step_rejected(self):
+        with pytest.raises(ValueError):
+            ApUInt(8, 0)[7:0:2]
+
+    def test_set_bit(self):
+        assert ApUInt(8, 0).set_bit(3, 1).value == 8
+        assert ApUInt(8, 0xFF).set_bit(0, 0).value == 0xFE
+
+    def test_set_range(self):
+        assert ApUInt(8, 0).set_range(7, 4, 0xA).value == 0xA0
+
+    def test_bits_lsb_first(self):
+        assert list(ApUInt(4, 0b1010).bits()) == [0, 1, 0, 1]
+
+
+class TestApUIntConversion:
+    def test_resize_zero_extend(self):
+        assert ApUInt(4, 0xF).resize(8).value == 0x0F
+
+    def test_resize_truncate(self):
+        assert ApUInt(8, 0xAB).resize(4).value == 0xB
+
+    def test_int_and_index(self):
+        assert int(ApUInt(8, 42)) == 42
+        assert [10, 20, 30][ApUInt(8, 1)] == 20
+
+    def test_bool(self):
+        assert not ApUInt(8, 0)
+        assert ApUInt(8, 1)
+
+
+class TestApInt:
+    def test_signed_interpretation(self):
+        assert ApInt(8, 0xFF).value == -1
+        assert ApInt(8, 0x80).value == -128
+        assert ApInt(8, 0x7F).value == 127
+
+    def test_wrapping_add(self):
+        assert (ApInt(8, 127) + 1).value == -128
+
+    def test_arithmetic_right_shift(self):
+        assert (ApInt(8, -8) >> 2).value == -2
+
+    def test_resize_sign_extends(self):
+        assert ApInt(4, -3).resize(8).value == -3
+        assert ApInt(4, -3).resize(8).raw == 0xFD
+
+    def test_comparison_signed(self):
+        assert ApInt(8, -1) < ApInt(8, 0)
+        assert ApInt(8, -1) < 1
+
+    def test_repr_roundtrip_value(self):
+        assert "ApInt(8, -5)" == repr(ApInt(8, -5))
+
+
+class TestConcat:
+    def test_two_parts_msb_first(self):
+        assert concat(ApUInt(4, 0xA), ApUInt(4, 0xB)).value == 0xAB
+
+    def test_width_sums(self):
+        assert concat(ApUInt(3, 0), ApUInt(5, 0), ApUInt(8, 0)).width == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat()
+
+    def test_non_ap_rejected(self):
+        with pytest.raises(TypeError):
+            concat(ApUInt(4, 1), 3)
+
+
+class TestBitReverse:
+    def test_simple(self):
+        assert bit_reverse(ApUInt(4, 0b0001)).value == 0b1000
+
+    def test_palindrome(self):
+        assert bit_reverse(ApUInt(4, 0b1001)).value == 0b1001
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+widths = st.integers(min_value=1, max_value=512)
+
+
+@given(w=widths, v=st.integers())
+def test_prop_value_always_in_range(w, v):
+    x = ApUInt(w, v)
+    assert 0 <= x.value < (1 << w)
+
+
+@given(w=widths, a=st.integers(), b=st.integers())
+def test_prop_add_is_modular(w, a, b):
+    assert (ApUInt(w, a) + ApUInt(w, b)).value == (a + b) % (1 << w)
+
+
+@given(w=widths, v=st.integers())
+def test_prop_double_invert_identity(w, v):
+    x = ApUInt(w, v)
+    assert (~~x).value == x.value
+
+
+@given(w=widths, v=st.integers())
+def test_prop_bit_reverse_involution(w, v):
+    x = ApUInt(w, v)
+    assert bit_reverse(bit_reverse(x)).value == x.value
+
+
+@given(w=st.integers(min_value=2, max_value=128), v=st.integers())
+def test_prop_concat_of_halves_identity(w, v):
+    x = ApUInt(w, v)
+    hi = x[w - 1 : w // 2]
+    lo = x[w // 2 - 1 : 0]
+    assert concat(hi, lo).value == x.value
+
+
+@given(w=widths, v=st.integers(), data=st.data())
+def test_prop_set_then_get_bit(w, v, data):
+    i = data.draw(st.integers(min_value=0, max_value=w - 1))
+    b = data.draw(st.integers(min_value=0, max_value=1))
+    assert ApUInt(w, v).set_bit(i, b)[i].value == b
+
+
+@given(w=widths, v=st.integers())
+def test_prop_signed_unsigned_same_bits(w, v):
+    assert ApInt(w, v).raw == ApUInt(w, v).value

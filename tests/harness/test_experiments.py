@@ -1,0 +1,222 @@
+"""Integration tests for the experiment drivers (one per table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    run_buffer_combining,
+    run_eq1,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_rejection_rates,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.paper import (
+    FPGA_WORK_ITEMS,
+    OPTIMAL_LOCAL_SIZES,
+    IDLE_POWER_W,
+    TABLE3_RUNTIME_MS,
+)
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        res = run_table1()
+        assert len(res.rows) == 4
+        assert "Marsaglia-Bray" in res.render()
+        assert res.column("States") == [624, 17, 624, 17]
+
+
+class TestTable2:
+    def test_work_items(self):
+        res = run_table2()
+        wi = dict(zip(res.column("Config"), res.column("WorkItems")))
+        assert wi == FPGA_WORK_ITEMS
+
+    def test_within_one_point_of_paper(self):
+        res = run_table2()
+        for row in res.rows:
+            config, _, s, sp, d, dp, b, bp = row
+            assert abs(s - sp) < 1.0, config
+            assert abs(d - dp) < 1.0, config
+            assert abs(b - bp) < 1.0, config
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_table3()
+
+    def test_all_rows_present(self, res):
+        assert res.column("Setup") == [
+            "Config1", "Config2", "Config3_cuda", "Config3_fpga_style",
+            "Config4_cuda", "Config4_fpga_style",
+        ]
+
+    def test_every_cell_within_2x_of_paper(self, res):
+        for row in res.rows:
+            setup = row[0]
+            for i, dev in enumerate(("CPU", "GPU", "PHI", "FPGA")):
+                ours = row[1 + 2 * i]
+                paper = row[2 + 2 * i]
+                assert paper == TABLE3_RUNTIME_MS[setup][dev]
+                assert 0.5 < ours / paper < 2.0, (setup, dev)
+
+    def test_config1_speedups(self, res):
+        row = res.rows[0]
+        cpu, gpu, phi, fpga = row[1], row[3], row[5], row[7]
+        assert cpu / fpga > 4.0  # paper 5.5x
+        assert gpu / fpga > 2.5  # paper 3.5x
+        assert phi / fpga > 1.1  # paper 1.4x
+
+    def test_config4_crossover(self, res):
+        row = next(r for r in res.rows if r[0] == "Config4_cuda")
+        gpu, phi, fpga = row[3], row[5], row[7]
+        assert gpu < 1.1 * fpga
+        assert phi < fpga
+
+
+class TestFig5:
+    def test_fig5a_optima(self):
+        res = run_fig5a()
+        assert all(
+            f"'{d}': {OPTIMAL_LOCAL_SIZES[d]}" in res.notes
+            for d in ("CPU", "GPU", "PHI")
+        )
+        for dev in ("CPU", "GPU", "PHI"):
+            curve = res.series[dev]
+            assert min(curve, key=curve.get) == OPTIMAL_LOCAL_SIZES[dev]
+
+    def test_fig5a_config3_similar_shape(self):
+        res = run_fig5a("Config3")
+        for dev in ("CPU", "GPU", "PHI"):
+            curve = res.series[dev]
+            assert curve[1] > 3 * min(curve.values())
+
+    def test_fig5b_saturates(self):
+        res = run_fig5b()
+        for dev in ("CPU", "GPU", "PHI"):
+            curve = res.series[dev]
+            assert curve[1024] > curve[65536]
+            assert curve[262144] == pytest.approx(curve[65536], rel=0.35)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig6(samples_per_variance=2048)
+
+    def test_ks_passes(self, res):
+        for row in res.rows:
+            assert row[5] > 1e-3  # KS p-value
+
+    def test_moments(self, res):
+        for row in res.rows:
+            v, _, mean, var = row[0], row[1], row[2], row[3]
+            assert mean == pytest.approx(1.0, abs=0.08)
+            assert var == pytest.approx(v, rel=0.25)
+
+    def test_histogram_tracks_reference(self, res):
+        for key, payload in res.series.items():
+            hist = np.array(payload["histogram"])
+            pdf = np.array(payload["reference_pdf"])
+            # compare where the reference has mass
+            mask = pdf > 0.05
+            assert np.mean(np.abs(hist[mask] - pdf[mask]) / pdf[mask]) < 0.5
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig7(work_items=(1, 2, 4, 6, 8))
+
+    def test_monotone_in_burst_length(self, res):
+        for name, curve in res.series.items():
+            xs = sorted(curve)
+            vals = [curve[x] for x in xs]
+            assert all(b <= a for a, b in zip(vals, vals[1:])), name
+
+    def test_more_work_items_never_slower(self, res):
+        for rns in (64, 512, 4096):
+            row = [res.series[f"{n} WI"][rns] for n in (1, 2, 4, 6, 8)]
+            assert all(b <= a for a, b in zip(row, row[1:]))
+
+    def test_saturation_at_channel_bandwidth(self, res):
+        # at the largest bursts all curves approach total_bytes/bandwidth
+        floor = res.series["8 WI"][4096]
+        assert floor < res.series["8 WI"][16] / 10
+
+    def test_embedded_model_validation_runs(self):
+        # validate_with_simulation raises if the model diverges
+        run_fig7(burst_rns=(64,), work_items=(1, 4), validate_with_simulation=True)
+
+
+class TestFig8:
+    def test_trace_shape(self):
+        res = run_fig8()
+        watts = [w for _, w in res.rows]
+        assert min(watts) > IDLE_POWER_W - 10
+        assert max(watts) > IDLE_POWER_W + 40  # active plateau visible
+        # idle at both ends
+        assert watts[0] < IDLE_POWER_W + 10
+        assert watts[-1] < IDLE_POWER_W + 12
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig9()
+
+    def test_fpga_best_everywhere(self, res):
+        for row in res.rows:
+            cpu, gpu, phi, fpga = row[1:5]
+            assert fpga < min(cpu, gpu, phi), row[0]
+
+    def test_config1_ratio_band(self, res):
+        row = res.rows[0]
+        assert row[5] == pytest.approx(9.5, rel=0.25)  # vs CPU
+        assert row[6] == pytest.approx(7.9, rel=0.25)  # vs GPU
+        assert row[7] == pytest.approx(4.1, rel=0.25)  # vs PHI
+
+    def test_margin_shrinks_toward_config4(self, res):
+        first, last = res.rows[0], res.rows[-1]
+        assert last[6] < first[6]  # GPU ratio shrinks
+        assert last[7] < first[7]  # PHI ratio shrinks
+
+
+class TestEq1:
+    def test_paper_quotes_reproduced(self):
+        res = run_eq1()
+        for row in res.rows:
+            assert row[3] == pytest.approx(row[4], rel=0.01)
+
+    def test_transfer_bound_gap(self):
+        res = run_eq1()
+        row34 = next(r for r in res.rows if r[0] == "Config3,4")
+        assert row34[5] > 1.3 * row34[2]  # full model >> Eq1
+
+
+class TestRejectionRates:
+    def test_shape(self):
+        res = run_rejection_rates()
+        mb = {r[1]: r[2] for r in res.rows if r[0] == "marsaglia_bray"}
+        ic = {r[1]: r[2] for r in res.rows if r[0] == "icdf"}
+        assert mb[1.39] > 3 * ic[1.39]
+        assert mb[100.0] > mb[0.1]
+        assert ic[100.0] > ic[0.1]
+
+
+class TestBufferCombining:
+    def test_device_level_wins(self):
+        res = run_buffer_combining()
+        host = next(r for r in res.rows if r[0] == "host_level")
+        dev = next(r for r in res.rows if r[0] == "device_level")
+        assert dev[2] == 1 and host[2] == 6
+        assert dev[3] < host[3]
+        assert dev[4] < 0.01

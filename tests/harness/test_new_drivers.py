@@ -1,0 +1,72 @@
+"""Tests for the fig2/fig3/variance drivers and the tools script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness import run_fig2, run_fig3, run_variance_sweep
+
+
+class TestFig2Driver:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig2()
+
+    def test_three_styles(self, res):
+        assert len(res.rows) == 3
+
+    def test_static_lockstep_perfect(self, res):
+        static = res.rows[0]
+        assert static[3] == 1.0
+
+    def test_efficiency_ordering(self, res):
+        _, _, _, eff_static = res.rows[0]
+        _, _, _, eff_div = res.rows[1]
+        _, _, _, eff_dec = res.rows[2]
+        assert eff_static > eff_dec > eff_div
+
+    def test_ascii_panels_embedded(self, res):
+        assert "(b) lockstep with rejection" in res.notes
+
+
+class TestFig3Driver:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig3(n_work_items=3, limit_main=64)
+
+    def test_one_row_per_engine(self, res):
+        assert len(res.rows) == 3
+
+    def test_lanes_in_series(self, res):
+        lanes = res.series["lanes"]
+        assert "GammaRNG0" in lanes and "Transfer2" in lanes
+
+    def test_overlap_reported(self, res):
+        assert "overlap fraction" in res.notes
+
+
+class TestVarianceSweepDriver:
+    def test_default_span(self):
+        res = run_variance_sweep()
+        assert res.rows[0][0] == 0.1
+        assert res.rows[-1][0] == 100.0
+
+    def test_custom_variances(self):
+        res = run_variance_sweep(variances=(0.5, 2.0))
+        assert len(res.rows) == 2
+
+
+class TestToolsScript:
+    def test_markdown_mode(self):
+        script = Path(__file__).parents[2] / "tools" / "generate_experiments_data.py"
+        proc = subprocess.run(
+            [sys.executable, str(script), "--markdown"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-1500:]
+        assert "| Config | " in proc.stdout  # markdown tables emitted
+        assert "**Table III" in proc.stdout

@@ -1,0 +1,84 @@
+"""Tests for the configuration registry and text reporting."""
+
+import pytest
+
+from repro.harness import CONFIGURATIONS, Configuration, format_series, format_table
+from repro.paper import FPGA_WORK_ITEMS
+from repro.rng.mersenne import MT19937_PARAMS, MT521_PARAMS
+
+
+class TestConfigurations:
+    def test_four_configs(self):
+        assert set(CONFIGURATIONS) == {"Config1", "Config2", "Config3", "Config4"}
+
+    def test_table1_bindings(self):
+        assert CONFIGURATIONS["Config1"].mt_params is MT19937_PARAMS
+        assert CONFIGURATIONS["Config2"].mt_params is MT521_PARAMS
+        assert CONFIGURATIONS["Config3"].transform == "icdf"
+        assert CONFIGURATIONS["Config1"].transform == "marsaglia_bray"
+
+    def test_exponents(self):
+        assert CONFIGURATIONS["Config1"].exponent == 19937
+        assert CONFIGURATIONS["Config4"].exponent == 521
+
+    def test_state_words(self):
+        assert CONFIGURATIONS["Config3"].state_words == 624
+        assert CONFIGURATIONS["Config2"].state_words == 17
+
+    def test_fpga_work_items_from_table2(self):
+        for name, cfg in CONFIGURATIONS.items():
+            assert cfg.fpga_work_items == FPGA_WORK_ITEMS[name]
+
+    def test_kernel_transform_mapping(self):
+        assert CONFIGURATIONS["Config1"].kernel_transform() == "marsaglia_bray"
+        # the FPGA always runs the bit-level ICDF
+        assert CONFIGURATIONS["Config3"].kernel_transform() == "icdf_fpga"
+
+    def test_kernel_config_factory(self):
+        kc = CONFIGURATIONS["Config2"].kernel_config(limit_main=64)
+        assert kc.mt_params is MT521_PARAMS
+        assert kc.limit_main == 64
+        assert kc.sector_variances == (1.39,)
+
+    def test_kernel_config_overrides(self):
+        kc = CONFIGURATIONS["Config1"].kernel_config(
+            limit_main=32, sector_variances=(0.5, 2.0), break_id=2
+        )
+        assert kc.sectors == 2
+        assert kc.break_id == 2
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.123456]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in out
+        assert "0.1235" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatSeries:
+    def test_merged_x_axis(self):
+        out = format_series(
+            "x", {"s1": {1: 10, 2: 20}, "s2": {2: 200, 3: 300}}
+        )
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "x"
+        assert len(lines) == 2 + 3  # header + sep + 3 x values
+
+    def test_missing_points_blank(self):
+        out = format_series("x", {"s": {1: 10}, "t": {2: 5}})
+        assert "10" in out and "5" in out

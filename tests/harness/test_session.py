@@ -1,0 +1,73 @@
+"""Tests for the full host-side measurement sessions."""
+
+import pytest
+
+from repro.harness import KernelSession
+from repro.paper import TABLE3_RUNTIME_MS
+
+
+class TestKernelSession:
+    def test_fpga_session_runtime_matches_table3(self):
+        session = KernelSession("FPGA", "Config1")
+        result = session.run(result_bytes=1 << 20)
+        assert result.kernel_ms == pytest.approx(
+            TABLE3_RUNTIME_MS["Config1"]["FPGA"], rel=0.2
+        )
+
+    def test_cpu_session_runtime_matches_table3(self):
+        result = KernelSession("CPU", "Config1").run(result_bytes=1 << 20)
+        assert result.kernel_ms == pytest.approx(
+            TABLE3_RUNTIME_MS["Config1"]["CPU"], rel=0.2
+        )
+
+    def test_enqueues_until_150s(self):
+        result = KernelSession("FPGA", "Config2").run(result_bytes=1 << 20)
+        active = result.invocations * result.kernel_seconds
+        assert active >= 150.0
+        assert active - result.kernel_seconds < 150.0  # no over-enqueue
+
+    def test_timeline_includes_readback(self):
+        result = KernelSession("FPGA", "Config1").run(result_bytes=1 << 24)
+        assert result.readback_seconds > 0
+        assert result.total_seconds > result.invocations * result.kernel_seconds
+
+    def test_energy_consistent_with_protocol(self):
+        from repro.power import MeasurementProtocol, PowerModel, VirtualMultimeter
+
+        result = KernelSession("GPU", "Config1").run(result_bytes=1 << 20)
+        proto = MeasurementProtocol(VirtualMultimeter(PowerModel()))
+        direct = proto.measure("GPU", result.kernel_seconds)
+        assert result.energy_per_invocation_j == pytest.approx(
+            direct.energy_per_invocation_j, rel=1e-6
+        )
+
+    def test_icdf_style_changes_fixed_runtime(self):
+        cuda = KernelSession("PHI", "Config3", icdf_style="cuda").run(
+            result_bytes=1 << 20
+        )
+        fpga_style = KernelSession("PHI", "Config3", icdf_style="fpga").run(
+            result_bytes=1 << 20
+        )
+        assert fpga_style.kernel_seconds > 3 * cuda.kernel_seconds
+
+    def test_fpga_ignores_icdf_style(self):
+        a = KernelSession("FPGA", "Config3", icdf_style="cuda").run(
+            result_bytes=1 << 20
+        )
+        b = KernelSession("FPGA", "Config3", icdf_style="fpga").run(
+            result_bytes=1 << 20
+        )
+        assert a.kernel_seconds == b.kernel_seconds
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            KernelSession("TPU", "Config1")
+
+    def test_session_energy_ordering(self):
+        """End-to-end: the FPGA session needs the least energy/invocation."""
+        energies = {
+            dev: KernelSession(dev, "Config1").run(result_bytes=1 << 20)
+            .energy_per_invocation_j
+            for dev in ("CPU", "GPU", "PHI", "FPGA")
+        }
+        assert min(energies, key=energies.get) == "FPGA"

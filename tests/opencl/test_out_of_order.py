@@ -1,0 +1,119 @@
+"""Tests for out-of-order queues, wait lists and engine overlap."""
+
+import numpy as np
+import pytest
+
+from repro.opencl import (
+    Context,
+    KernelHandle,
+    paper_platform,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return Context(paper_platform(), "FPGA")
+
+
+def _kernel(seconds, name="k"):
+    return KernelHandle(name, time_model=lambda d, n, **a: seconds)
+
+
+class TestInOrderBaseline:
+    def test_kernel_then_read_serialized(self, ctx):
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx)  # in-order
+        buf = ctx.create_buffer("b", 1024)
+        ev_k = q.enqueue_task(_kernel(0.5))
+        ev_r = q.enqueue_read_buffer(buf)
+        assert ev_r.time_start >= ev_k.time_end
+
+
+class TestOutOfOrder:
+    def test_copy_overlaps_compute(self, ctx):
+        """The double-buffering pattern: a transfer on the copy engine
+        runs concurrently with a kernel on the compute engine."""
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx, out_of_order=True)
+        buf = ctx.create_buffer("b", 1 << 20)
+        ev_k = q.enqueue_task(_kernel(0.5))
+        ev_w = q.enqueue_write_buffer(buf, np.zeros(1 << 18, dtype=np.float32))
+        # independent commands start together
+        assert ev_w.time_start < ev_k.time_end
+        assert q.finish() == pytest.approx(ev_k.time_end)
+
+    def test_wait_for_enforces_order(self, ctx):
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx, out_of_order=True)
+        buf = ctx.create_buffer("b", 1024)
+        ev_k = q.enqueue_task(_kernel(0.25))
+        ev_r = q.enqueue_read_buffer(buf, wait_for=[ev_k])
+        assert ev_r.time_start >= ev_k.time_end
+
+    def test_same_engine_still_serializes(self, ctx):
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx, out_of_order=True)
+        a = q.enqueue_task(_kernel(0.1, "a"))
+        b = q.enqueue_task(_kernel(0.1, "b"))
+        assert b.time_start >= a.time_end  # one compute engine
+
+    def test_foreign_event_rejected(self, ctx):
+        from repro.opencl.queue import CommandQueue
+
+        q1 = CommandQueue(ctx, out_of_order=True)
+        q2 = CommandQueue(ctx, out_of_order=True)
+        ev = q1.enqueue_task(_kernel(0.1))
+        with pytest.raises(ValueError, match="wait_for"):
+            q2.enqueue_task(_kernel(0.1), wait_for=[ev])
+
+    def test_marker_waits_for_everything(self, ctx):
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx, out_of_order=True)
+        buf = ctx.create_buffer("b", 1 << 20)
+        ev_k = q.enqueue_task(_kernel(0.5))
+        q.enqueue_write_buffer(buf, np.zeros(1 << 18, dtype=np.float32))
+        marker = q.enqueue_marker("sync")
+        assert marker.time_start >= ev_k.time_end
+
+    def test_dependency_chain_timing(self, ctx):
+        """write -> kernel -> read with explicit deps reproduces the
+        classic offload timeline."""
+        from repro.opencl.queue import CommandQueue
+
+        q = CommandQueue(ctx, out_of_order=True)
+        buf_in = ctx.create_buffer("in", 1 << 16)
+        buf_out = ctx.create_buffer("out", 1 << 16)
+        ev_w = q.enqueue_write_buffer(buf_in, np.zeros(1 << 14, dtype=np.float32))
+        ev_k = q.enqueue_task(_kernel(0.1), wait_for=[ev_w])
+        ev_r = q.enqueue_read_buffer(buf_out, wait_for=[ev_k])
+        assert ev_k.time_start >= ev_w.time_end
+        assert ev_r.time_start >= ev_k.time_end
+        assert q.finish() == pytest.approx(ev_r.time_end)
+
+    def test_double_buffering_beats_serial(self, ctx):
+        """Two batches, transfers overlapped with compute: the
+        out-of-order timeline finishes earlier than the in-order one."""
+        from repro.opencl.queue import CommandQueue
+
+        def pipeline(out_of_order):
+            q = CommandQueue(ctx, out_of_order=out_of_order)
+            data = np.zeros(1 << 20, dtype=np.float32)
+            prev_kernel = None
+            for i in range(4):
+                buf = ctx.create_buffer(f"b{out_of_order}{i}", data.nbytes)
+                deps = [prev_kernel] if (out_of_order and prev_kernel) else None
+                ev_w = q.enqueue_write_buffer(buf, data, wait_for=None)
+                prev_kernel = q.enqueue_task(
+                    _kernel(0.002, f"k{i}"),
+                    wait_for=[ev_w] if out_of_order else None,
+                )
+            return q.finish()
+
+        serial = pipeline(False)
+        overlapped = pipeline(True)
+        assert overlapped < serial

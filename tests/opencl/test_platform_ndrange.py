@@ -1,0 +1,124 @@
+"""Tests for the platform catalog and the NDRange index space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.opencl import (
+    ComputeUnit,
+    Device,
+    DeviceKind,
+    NDRange,
+    PAPER_DEVICES,
+    paper_platform,
+)
+
+
+class TestComputeUnit:
+    def test_partitions(self):
+        cu = ComputeUnit(processing_elements=192, partition_width=32)
+        assert cu.partitions == 6
+
+    def test_width_must_divide_pes(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(processing_elements=10, partition_width=3)
+
+    def test_positive_validation(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(processing_elements=0, partition_width=1)
+
+
+class TestPaperCatalog:
+    def test_all_four_setups_present(self):
+        assert set(PAPER_DEVICES) == {"CPU", "GPU", "PHI", "FPGA"}
+
+    def test_partition_widths_match_section_iib(self):
+        # "Nvidia GPUs schedule warps ... of 32 threads, while Intel Xeon
+        # Phi uses a 512-bit implicit vectorization unit"
+        assert PAPER_DEVICES["GPU"].partition_width == 32
+        assert PAPER_DEVICES["PHI"].partition_width == 16
+        assert PAPER_DEVICES["CPU"].partition_width == 8
+        assert PAPER_DEVICES["FPGA"].partition_width == 1
+
+    def test_frequencies_match_section_iva(self):
+        assert PAPER_DEVICES["CPU"].frequency_hz == pytest.approx(2.3e9)
+        assert PAPER_DEVICES["PHI"].frequency_hz == pytest.approx(1.238e9)
+        assert PAPER_DEVICES["GPU"].frequency_hz == pytest.approx(560e6)
+        assert PAPER_DEVICES["FPGA"].frequency_hz == pytest.approx(200e6)
+
+    def test_phi_core_count(self):
+        assert PAPER_DEVICES["PHI"].compute_units == 61
+
+    def test_platform_lookup(self):
+        plat = paper_platform()
+        assert plat.device("GPU").kind is DeviceKind.GPU
+        with pytest.raises(KeyError):
+            plat.device("TPU")
+
+    def test_by_kind(self):
+        plat = paper_platform()
+        assert len(plat.by_kind(DeviceKind.FPGA)) == 1
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="bad", kind=DeviceKind.CPU, compute_units=0,
+                compute_unit=ComputeUnit(1, 1), frequency_hz=1e9,
+                global_memory_bytes=1,
+            )
+
+    def test_total_pes(self):
+        gpu = PAPER_DEVICES["GPU"]
+        assert gpu.total_processing_elements == 26 * 192
+
+
+class TestNDRange:
+    def test_paper_setup(self):
+        nd = NDRange(65536, 64)
+        assert nd.total_work_items == 65536
+        assert nd.num_work_groups == 1024
+        assert nd.work_group_size == 64
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            NDRange(100, 7)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            NDRange((8, 8), (4,))
+
+    def test_max_three_dims(self):
+        with pytest.raises(ValueError):
+            NDRange((2, 2, 2, 2), (1, 1, 1, 1))
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            NDRange(0, 1)
+
+    def test_2d(self):
+        nd = NDRange((16, 8), (4, 4))
+        assert nd.num_work_groups == 8
+        assert list(nd.work_groups())[:3] == [(0, 0), (0, 1), (1, 0)]
+
+    def test_1d_group_iteration(self):
+        nd = NDRange(16, 4)
+        assert list(nd.work_groups()) == [(0,), (1,), (2,), (3,)]
+
+    def test_partitions_per_group(self):
+        nd = NDRange(65536, 64)
+        assert nd.partitions_per_group(32) == 2
+        assert nd.partitions_per_group(16) == 4
+        assert nd.partitions_per_group(128) == 1
+
+    def test_partitions_width_validation(self):
+        with pytest.raises(ValueError):
+            NDRange(8, 8).partitions_per_group(0)
+
+
+@given(
+    groups=st.integers(min_value=1, max_value=64),
+    local=st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+)
+def test_prop_group_count_times_size_is_global(groups, local):
+    nd = NDRange(groups * local, local)
+    assert nd.num_work_groups * nd.work_group_size == nd.total_work_items
+    assert len(list(nd.work_groups())) == nd.num_work_groups

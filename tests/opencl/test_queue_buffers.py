@@ -1,0 +1,191 @@
+"""Tests for buffers, events, command queue and §III-E combining."""
+
+import numpy as np
+import pytest
+
+from repro.opencl import (
+    Buffer,
+    CommandQueue,
+    CommandType,
+    Context,
+    EventStatus,
+    KernelHandle,
+    MemFlag,
+    NDRange,
+    combine_at_device_level,
+    combine_at_host_level,
+    paper_platform,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return Context(paper_platform(), "GPU")
+
+
+class TestBuffer:
+    def test_store_load_roundtrip(self):
+        buf = Buffer("b", 64)
+        data = np.arange(8, dtype=np.float32)
+        buf.store(16, data)
+        out = buf.load(16, 32).view(np.float32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_alignment_enforced(self):
+        buf = Buffer("b", 64)
+        with pytest.raises(ValueError):
+            buf.load(2, 4)
+
+    def test_bounds(self):
+        buf = Buffer("b", 16)
+        with pytest.raises(IndexError):
+            buf.store(8, np.zeros(4, dtype=np.float32))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Buffer("b", 0)
+        with pytest.raises(ValueError):
+            Buffer("b", 6)
+
+    def test_float_view_shares_storage(self):
+        buf = Buffer("b", 16)
+        buf.store(0, np.array([1.5, 2.5, 0.0, 0.0], dtype=np.float32))
+        assert buf.as_float32()[1] == 2.5
+
+
+class TestQueueTimeline:
+    def test_write_then_read_timing(self, ctx):
+        q = ctx.create_queue()
+        buf = ctx.create_buffer("b", 1024 * 4)
+        data = np.ones(1024, dtype=np.float32)
+        ev_w = q.enqueue_write_buffer(buf, data)
+        ev_r = q.enqueue_read_buffer(buf)
+        d = ctx.device
+        expected = d.pcie_latency_s + data.nbytes / d.pcie_bandwidth_bps
+        assert ev_w.duration == pytest.approx(expected)
+        assert ev_r.time_start == pytest.approx(ev_w.time_end)
+        assert q.finish() == pytest.approx(ev_r.time_end)
+
+    def test_in_order_serialization(self, ctx):
+        q = ctx.create_queue()
+        buf = ctx.create_buffer("b", 4 * 4)
+        times = []
+        for _ in range(5):
+            ev = q.enqueue_write_buffer(buf, np.zeros(4, dtype=np.float32))
+            times.append((ev.time_start, ev.time_end))
+        for (s1, e1), (s2, e2) in zip(times, times[1:]):
+            assert s2 >= e1
+
+    def test_kernel_time_model_used(self, ctx):
+        q = ctx.create_queue()
+        kernel = KernelHandle(
+            "k",
+            body=None,
+            time_model=lambda device, ndrange, **a: 0.25,
+        )
+        ev = q.enqueue_ndrange_kernel(kernel, NDRange(64, 8))
+        assert ev.duration == 0.25
+        assert ev.command is CommandType.NDRANGE_KERNEL
+
+    def test_kernel_body_executed(self, ctx):
+        q = ctx.create_queue()
+        buf = ctx.create_buffer("out", 16)
+
+        def body(device, ndrange, out):
+            out.store(0, np.full(4, 7.0, dtype=np.float32))
+
+        kernel = KernelHandle("k", body=body,
+                              time_model=lambda d, n, **a: 1e-3)
+        q.enqueue_task(kernel, out=buf)
+        np.testing.assert_array_equal(buf.as_float32(), np.full(4, 7.0))
+
+    def test_negative_kernel_time_rejected(self, ctx):
+        q = ctx.create_queue()
+        kernel = KernelHandle("k", time_model=lambda d, n, **a: -1.0)
+        with pytest.raises(ValueError):
+            q.enqueue_task(kernel)
+
+    def test_marker_has_zero_duration(self, ctx):
+        q = ctx.create_queue()
+        ev = q.enqueue_marker("start")
+        assert ev.duration == 0.0
+
+    def test_profile_table(self, ctx):
+        q = ctx.create_queue()
+        buf = ctx.create_buffer("b", 16)
+        q.enqueue_write_buffer(buf, np.zeros(4, dtype=np.float32))
+        q.enqueue_marker("m")
+        prof = q.profile()
+        assert len(prof) == 2
+        assert prof[0]["command"] == "write_buffer"
+
+    def test_read_into_host_array(self, ctx):
+        q = ctx.create_queue()
+        buf = ctx.create_buffer("b", 16)
+        buf.store(0, np.array([1, 2, 3, 4], dtype=np.float32))
+        host = np.zeros(4, dtype=np.float32)
+        q.enqueue_read_buffer(buf, out=host)
+        np.testing.assert_array_equal(host, [1, 2, 3, 4])
+
+    def test_event_incomplete_duration_raises(self):
+        from repro.opencl.event import Event
+
+        ev = Event(CommandType.MARKER)
+        with pytest.raises(RuntimeError):
+            _ = ev.duration
+        assert ev.status is EventStatus.QUEUED
+
+
+class TestBufferCombining:
+    def _blocks(self, n=6, block=4096, seed=3):
+        rng = np.random.default_rng(seed)
+        return [rng.random(block).astype(np.float32) for _ in range(n)]
+
+    def test_both_strategies_same_host_content(self, ctx):
+        blocks = self._blocks()
+        host_lvl = combine_at_host_level(ctx, blocks)
+        dev_lvl = combine_at_device_level(ctx, blocks)
+        np.testing.assert_array_equal(host_lvl.host_array, dev_lvl.host_array)
+        np.testing.assert_array_equal(
+            dev_lvl.host_array, np.concatenate(blocks)
+        )
+
+    def test_device_level_single_read(self, ctx):
+        res = combine_at_device_level(ctx, self._blocks())
+        assert res.read_requests == 1
+        assert res.device_buffers == 1
+
+    def test_host_level_n_reads(self, ctx):
+        res = combine_at_host_level(ctx, self._blocks(n=6))
+        assert res.read_requests == 6
+        assert res.device_buffers == 6
+
+    def test_device_level_faster_readback(self, ctx):
+        """One read request saves (N-1) PCIe latencies — the reason the
+        paper chose device-level combining."""
+        blocks = self._blocks(n=6)
+        host_lvl = combine_at_host_level(ctx, blocks)
+        dev_lvl = combine_at_device_level(ctx, blocks)
+        assert dev_lvl.read_time_s < host_lvl.read_time_s
+        saved = host_lvl.read_time_s - dev_lvl.read_time_s
+        assert saved == pytest.approx(5 * ctx.device.pcie_latency_s, rel=0.01)
+
+    def test_device_penalty_below_one_percent(self, ctx):
+        res = combine_at_device_level(ctx, self._blocks())
+        assert 0.0 < res.kernel_time_penalty < 0.01
+
+    def test_unequal_blocks_rejected(self, ctx):
+        with pytest.raises(ValueError, match="equally sized"):
+            combine_at_host_level(
+                ctx,
+                [np.zeros(4, dtype=np.float32), np.zeros(8, dtype=np.float32)],
+            )
+
+    def test_empty_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            combine_at_device_level(ctx, [])
+
+    def test_summary_fields(self, ctx):
+        s = combine_at_device_level(ctx, self._blocks()).summary
+        assert s["strategy"] == "device_level"
+        assert s["read_requests"] == 1

@@ -1,0 +1,67 @@
+"""Tests for the multi-device measurement campaign."""
+
+import pytest
+
+from repro.paper import TABLE3_RUNTIME_MS
+from repro.power import (
+    MeasurementProtocol,
+    PowerModel,
+    VirtualMultimeter,
+    measure_campaign,
+)
+
+
+def _kernels(config="Config1"):
+    return {
+        dev: TABLE3_RUNTIME_MS[config][dev] / 1e3
+        for dev in ("CPU", "GPU", "PHI", "FPGA")
+    }
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    meter = VirtualMultimeter(PowerModel())
+    return measure_campaign(meter, _kernels())
+
+
+class TestCampaign:
+    def test_all_devices_measured(self, campaign):
+        assert set(campaign.per_device) == {"CPU", "GPU", "PHI", "FPGA"}
+
+    def test_activity_intervals_disjoint(self, campaign):
+        ivs = sorted(campaign.activity, key=lambda i: i.start_s)
+        for a, b in zip(ivs, ivs[1:]):
+            assert b.start_s >= a.end_s + 30.0  # cooldown gap preserved
+
+    def test_matches_individual_protocol(self, campaign):
+        """Campaign extraction ≈ a dedicated per-device measurement
+        (small drift allowed: the campaign shares one noise/cooling
+        trace)."""
+        meter = VirtualMultimeter(PowerModel())
+        proto = MeasurementProtocol(meter)
+        for dev, kernel_s in _kernels().items():
+            solo = proto.measure(dev, kernel_s)
+            joint = campaign.per_device[dev]
+            assert joint.energy_per_invocation_j == pytest.approx(
+                solo.energy_per_invocation_j, rel=0.03
+            )
+
+    def test_fpga_most_efficient(self, campaign):
+        assert campaign.most_efficient() == "FPGA"
+
+    def test_trace_is_continuous(self, campaign):
+        times = [s.time_s for s in campaign.samples]
+        assert times == sorted(times)
+        assert campaign.duration_s > 4 * 150.0  # four active phases
+
+    def test_validation(self):
+        meter = VirtualMultimeter(PowerModel())
+        with pytest.raises(ValueError):
+            measure_campaign(meter, {"FPGA": 0.0})
+        with pytest.raises(ValueError):
+            measure_campaign(meter, {"FPGA": 1.0}, min_active_s=50.0)
+
+    def test_energies_dict(self, campaign):
+        e = campaign.energies()
+        assert set(e) == {"CPU", "GPU", "PHI", "FPGA"}
+        assert all(v > 0 for v in e.values())

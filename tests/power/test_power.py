@@ -1,0 +1,184 @@
+"""Tests for the power model, virtual multimeter and protocol."""
+
+import numpy as np
+import pytest
+
+from repro.paper import FIG9_FPGA_EFFICIENCY, IDLE_POWER_W, TABLE3_RUNTIME_MS
+from repro.power import (
+    ActivityInterval,
+    DynamicEnergyResult,
+    MeasurementProtocol,
+    PowerModel,
+    VirtualMultimeter,
+)
+
+
+class TestActivityInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivityInterval(5.0, 5.0, "FPGA")
+        with pytest.raises(ValueError, match="unknown device"):
+            ActivityInterval(0.0, 1.0, "TPU")
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        model = PowerModel()
+        _, watts = model.trace([], 10.0)
+        assert np.allclose(watts, IDLE_POWER_W)
+
+    def test_active_plateau(self):
+        model = PowerModel()
+        activity = [ActivityInterval(0.0, 100.0, "FPGA")]
+        _, watts = model.trace(activity, 100.0)
+        # late in the run the cooling lag has converged
+        assert watts[-1] == pytest.approx(model.steady_state_power("FPGA"), rel=0.01)
+
+    def test_fpga_draws_least(self):
+        model = PowerModel()
+        plateaus = {d: model.steady_state_power(d) for d in ("CPU", "GPU", "PHI", "FPGA")}
+        assert min(plateaus, key=plateaus.get) == "FPGA"
+
+    def test_cooling_lag_rises_gradually(self):
+        model = PowerModel(cooling_tau_s=10.0)
+        activity = [ActivityInterval(0.0, 50.0, "GPU")]
+        _, watts = model.trace(activity, 50.0, dt_s=0.1)
+        early = watts[5]
+        late = watts[-1]
+        assert early < late  # shoulder, not a step
+
+    def test_power_decays_after_activity(self):
+        model = PowerModel()
+        activity = [ActivityInterval(0.0, 10.0, "CPU")]
+        times, watts = model.trace(activity, 40.0, dt_s=0.1)
+        after = watts[times > 35.0]
+        assert np.all(after < IDLE_POWER_W + 2.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel().trace([], 0.0)
+        with pytest.raises(ValueError):
+            PowerModel().trace([], 10.0, dt_s=0.0)
+
+
+class TestVirtualMultimeter:
+    def test_one_sample_per_second(self):
+        meter = VirtualMultimeter(PowerModel())
+        samples = meter.record([], 10.0)
+        assert len(samples) == 10
+        assert samples[1].time_s - samples[0].time_s == pytest.approx(1.0)
+
+    def test_noise_reproducible(self):
+        m1 = VirtualMultimeter(PowerModel(), noise_w=1.0, seed=3)
+        m2 = VirtualMultimeter(PowerModel(), noise_w=1.0, seed=3)
+        s1 = m1.record([], 20.0)
+        s2 = m2.record([], 20.0)
+        assert [s.watts for s in s1] == [s.watts for s in s2]
+
+    def test_integrate_idle(self):
+        meter = VirtualMultimeter(PowerModel())
+        samples = meter.record([], 120.0)
+        energy = meter.integrate(samples, 10.0, 110.0)
+        assert energy == pytest.approx(IDLE_POWER_W * 100.0, rel=0.001)
+
+    def test_integrate_window_validation(self):
+        meter = VirtualMultimeter(PowerModel())
+        samples = meter.record([], 10.0)
+        with pytest.raises(ValueError):
+            meter.integrate(samples, 5.0, 5.0)
+        with pytest.raises(ValueError, match="not enough samples"):
+            meter.integrate(samples, 100.0, 200.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMultimeter(PowerModel(), sample_period_s=0.0)
+        with pytest.raises(ValueError):
+            VirtualMultimeter(PowerModel(), noise_w=-1.0)
+
+
+class TestProtocol:
+    def _measure(self, device, kernel_s, **kw):
+        meter = VirtualMultimeter(PowerModel())
+        return MeasurementProtocol(meter, **kw).measure(device, kernel_s)
+
+    def test_invocations_non_integer(self):
+        r = self._measure("FPGA", 0.701)
+        assert r.invocations_in_window == pytest.approx(100.0 / 0.701)
+        assert r.invocations_in_window % 1 != 0
+
+    def test_energy_positive_and_sensible(self):
+        r = self._measure("FPGA", 0.701)
+        model = PowerModel()
+        expected = (
+            (model.dynamic_w["FPGA"] + model.host_active_w)
+            * (1 + model.cooling_fraction)
+            * 0.701
+        )
+        assert r.energy_per_invocation_j == pytest.approx(expected, rel=0.05)
+
+    def test_idle_subtraction(self):
+        r = self._measure("CPU", 3.825)
+        assert r.idle_energy_j == pytest.approx(IDLE_POWER_W * 100.0)
+        assert r.total_energy_j > r.idle_energy_j
+
+    def test_dynamic_power_property(self):
+        r = self._measure("GPU", 2.479)
+        assert r.average_dynamic_power_w == pytest.approx(
+            r.dynamic_energy_j / 100.0
+        )
+
+    def test_protocol_validation(self):
+        meter = VirtualMultimeter(PowerModel())
+        with pytest.raises(ValueError):
+            MeasurementProtocol(meter, min_active_s=50.0, window_s=100.0)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(meter).measure("FPGA", 0.0)
+
+    def test_result_is_frozen_dataclass(self):
+        r = self._measure("FPGA", 0.7)
+        assert isinstance(r, DynamicEnergyResult)
+        with pytest.raises(AttributeError):
+            r.device = "GPU"
+
+
+class TestFig9Ratios:
+    def test_config1_efficiency_ratios(self):
+        """FPGA energy advantage under Config1: ~9.5x / 7.9x / 4.1x."""
+        meter = VirtualMultimeter(PowerModel())
+        proto = MeasurementProtocol(meter)
+        energy = {
+            dev: proto.measure(
+                dev, TABLE3_RUNTIME_MS["Config1"][dev] / 1e3
+            ).energy_per_invocation_j
+            for dev in ("CPU", "GPU", "PHI", "FPGA")
+        }
+        for dev, paper_ratio in FIG9_FPGA_EFFICIENCY["Config1"].items():
+            ratio = energy[dev] / energy["FPGA"]
+            assert ratio == pytest.approx(paper_ratio, rel=0.15), dev
+
+    def test_fpga_most_efficient_in_all_configs(self):
+        """Fig 9: 'The FPGA solution shows the best energy efficiency in
+        all cases'."""
+        meter = VirtualMultimeter(PowerModel())
+        proto = MeasurementProtocol(meter)
+        for cfg in ("Config1", "Config2", "Config3_cuda", "Config4_cuda"):
+            energies = {
+                dev: proto.measure(
+                    dev, TABLE3_RUNTIME_MS[cfg][dev] / 1e3
+                ).energy_per_invocation_j
+                for dev in ("CPU", "GPU", "PHI", "FPGA")
+            }
+            assert min(energies, key=energies.get) == "FPGA", cfg
+
+    def test_config4_margin_shrinks(self):
+        """Fig 9: the advantage shrinks to ~2.2x vs GPU/PHI under Config4."""
+        meter = VirtualMultimeter(PowerModel())
+        proto = MeasurementProtocol(meter)
+        e = {
+            dev: proto.measure(
+                dev, TABLE3_RUNTIME_MS["Config4_cuda"][dev] / 1e3
+            ).energy_per_invocation_j
+            for dev in ("GPU", "PHI", "FPGA")
+        }
+        assert 1.4 < e["GPU"] / e["FPGA"] < 3.0
+        assert 1.4 < e["PHI"] / e["FPGA"] < 3.0

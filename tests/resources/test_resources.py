@@ -1,0 +1,119 @@
+"""Tests for the FPGA resource model (Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.paper import FPGA_WORK_ITEMS, TABLE2_UTILIZATION
+from repro.resources import (
+    BLOCK_COSTS,
+    DEVICE_BUDGET,
+    ResourceModel,
+    ResourceVector,
+    work_item_cost,
+)
+
+
+class TestResourceVector:
+    def test_add(self):
+        v = ResourceVector(1, 2, 3) + ResourceVector(10, 20, 30)
+        assert (v.slices, v.dsp, v.bram) == (11, 22, 33)
+
+    def test_scalar_multiply(self):
+        v = 3 * ResourceVector(1, 2, 3)
+        assert (v.slices, v.dsp, v.bram) == (3, 6, 9)
+
+    def test_fits_within(self):
+        small = ResourceVector(1, 1, 1)
+        big = ResourceVector(2, 2, 2)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+        assert not ResourceVector(3, 0, 0).fits_within(big)
+
+
+class TestWorkItemCost:
+    def test_mb_uses_four_twisters(self):
+        mb = work_item_cost("marsaglia_bray", "mt19937")
+        icdf = work_item_cost("icdf", "mt19937")
+        # MB has one more twister and the polar core; ICDF has the ROM
+        assert mb.slices > icdf.slices
+        assert mb.dsp > icdf.dsp
+        assert icdf.bram > mb.bram  # coefficient ROM
+
+    def test_small_twister_saves_slices(self):
+        big = work_item_cost("marsaglia_bray", "mt19937")
+        small = work_item_cost("marsaglia_bray", "mt521")
+        assert small.slices < big.slices
+        assert small.bram == big.bram  # same BRAM allocation granularity
+
+    def test_unknown_inputs(self):
+        with pytest.raises(ValueError):
+            work_item_cost("sobol", "mt19937")
+        with pytest.raises(ValueError):
+            work_item_cost("icdf", "mt607")
+
+    def test_blocks_all_positive(self):
+        for name, v in BLOCK_COSTS.items():
+            assert v.slices >= 0 and v.dsp >= 0 and v.bram >= 0, name
+
+
+class TestTableII:
+    @pytest.fixture()
+    def model(self):
+        return ResourceModel()
+
+    @pytest.mark.parametrize("config", ["Config1", "Config2", "Config3", "Config4"])
+    def test_work_item_counts_match_paper(self, model, config):
+        """Section IV-B: 6 work-items for Config1/2, 8 for Config3/4."""
+        assert model.max_work_items(config).n_work_items == FPGA_WORK_ITEMS[config]
+
+    @pytest.mark.parametrize("config", ["Config1", "Config2", "Config3", "Config4"])
+    def test_utilization_within_one_percent_of_table2(self, model, config):
+        placement = model.max_work_items(config)
+        util = placement.utilization_percent()
+        paper = TABLE2_UTILIZATION[config]
+        for res in ("Slice", "DSP", "BRAM"):
+            assert util[res] == pytest.approx(paper[res], abs=1.0), (config, res)
+
+    @pytest.mark.parametrize("config", ["Config1", "Config2", "Config3", "Config4"])
+    def test_slice_limited(self, model, config):
+        """Table II: 'in all cases the design is limited by the number of
+        slices'."""
+        placement = model.max_work_items(config)
+        assert placement.limiting_resource == "Slice"
+
+    def test_one_more_work_item_fails_routing(self, model):
+        for config, n in FPGA_WORK_ITEMS.items():
+            assert model.estimate(config, n).routable
+            assert not model.estimate(config, n + 1).routable
+
+    def test_table2_report(self, model):
+        table = model.table2()
+        assert set(table) == set(FPGA_WORK_ITEMS)
+        assert table["Config3"]["work_items"] == 8
+
+    def test_unknown_config(self, model):
+        with pytest.raises(KeyError):
+            model.estimate("Config9", 1)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.estimate("Config1", 0)
+        with pytest.raises(ValueError):
+            ResourceModel(routing_limit=0.0)
+
+    def test_impossible_budget(self):
+        tiny = ResourceModel(
+            static_region=ResourceVector(slices=DEVICE_BUDGET.slices, dsp=0, bram=0)
+        )
+        with pytest.raises(RuntimeError):
+            tiny.max_work_items("Config1")
+
+
+@given(n=st.integers(min_value=1, max_value=20),
+       config=st.sampled_from(["Config1", "Config2", "Config3", "Config4"]))
+def test_prop_utilization_monotone_in_work_items(n, config):
+    model = ResourceModel()
+    a = model.estimate(config, n).totals
+    b = model.estimate(config, n + 1).totals
+    assert b.slices > a.slices
+    assert b.bram > a.bram

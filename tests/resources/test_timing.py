@@ -1,0 +1,68 @@
+"""Tests for the timing-closure (frequency sag) model."""
+
+import pytest
+
+from repro.paper import FPGA_WORK_ITEMS
+from repro.resources import (
+    ResourceModel,
+    TimingModel,
+    frequency_aware_work_items,
+)
+from repro.resources.timing import decibel_margin, runtime_with_frequency_sag
+
+
+class TestTimingModel:
+    def test_flat_at_paper_utilization(self):
+        """At the paper's ~53 % operating point the 200 MHz target holds."""
+        tm = TimingModel()
+        assert tm.achievable_hz(0.53) == pytest.approx(200e6, rel=0.05)
+
+    def test_sags_near_routing_knee(self):
+        tm = TimingModel()
+        assert tm.achievable_hz(0.55) < tm.achievable_hz(0.40)
+        assert tm.achievable_hz(0.75) < 0.75 * 200e6
+
+    def test_monotone_non_increasing(self):
+        tm = TimingModel()
+        freqs = [tm.achievable_hz(u / 100) for u in range(0, 101, 5)]
+        assert all(b <= a for a, b in zip(freqs, freqs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingModel().achievable_hz(1.5)
+        with pytest.raises(ValueError):
+            decibel_margin(0.0)
+
+    def test_decibel_margin(self):
+        assert decibel_margin(200e6) == pytest.approx(0.0)
+        assert decibel_margin(100e6) == pytest.approx(-6.02, abs=0.01)
+
+
+class TestFrequencyAwareSearch:
+    @pytest.mark.parametrize("config", ["Config1", "Config2", "Config3", "Config4"])
+    def test_best_matches_feasibility_search(self, config):
+        """At the paper's operating points the throughput-optimal count
+        equals the feasibility-limited one — one more pipeline would not
+        have paid even if it routed."""
+        best, _ = frequency_aware_work_items(config)
+        assert best.n_work_items == FPGA_WORK_ITEMS[config]
+
+    def test_sweep_throughput_concave(self):
+        _, sweep = frequency_aware_work_items("Config3", hard_cap=12)
+        tp = [p.throughput for p in sweep]
+        peak = tp.index(max(tp))
+        assert all(b >= a for a, b in zip(tp[: peak + 1], tp[1 : peak + 1]))
+
+    def test_frequency_at_best_point_near_target(self):
+        best, _ = frequency_aware_work_items("Config1")
+        assert best.frequency_hz > 0.9 * 200e6
+
+    def test_runtime_with_sag(self):
+        t6 = runtime_with_frequency_sag("Config1", 10_000_000, 0.23, 6)
+        t1 = runtime_with_frequency_sag("Config1", 10_000_000, 0.23, 1)
+        assert t6 < t1 / 4  # near-linear speedup while the clock holds
+
+    def test_utilization_grows_along_sweep(self):
+        _, sweep = frequency_aware_work_items("Config2")
+        utils = [p.slice_utilization for p in sweep]
+        assert all(b > a for a, b in zip(utils, utils[1:]))

@@ -1,0 +1,135 @@
+"""Tests for the statistical battery — and the battery applied to every
+generator this library ships."""
+
+import numpy as np
+import pytest
+
+from repro.rng import MersenneTwister, MT521_PARAMS
+from repro.rng.battery import (
+    block_frequency_test,
+    monobit_test,
+    run_battery,
+    runs_test,
+    serial_pairs_test,
+    spectral_lag_test,
+)
+from repro.rng.dynamic_creation import find_mt_family
+
+
+def _words(params=None, seed=99, count=1 << 16):
+    mt = MersenneTwister(params, seed=seed) if params else MersenneTwister(seed=seed)
+    return mt.generate(count)
+
+
+class TestBatteryMechanics:
+    def test_monobit_needs_bits(self):
+        with pytest.raises(ValueError):
+            monobit_test(np.zeros(1, dtype=np.uint32))
+
+    def test_block_frequency_needs_blocks(self):
+        with pytest.raises(ValueError):
+            block_frequency_test(np.zeros(4, dtype=np.uint32))
+
+    def test_serial_needs_samples(self):
+        with pytest.raises(ValueError):
+            serial_pairs_test(np.zeros(10, dtype=np.uint32))
+
+    def test_spectral_needs_samples(self):
+        with pytest.raises(ValueError):
+            spectral_lag_test(np.zeros(10, dtype=np.uint32))
+
+    def test_outcome_pass_threshold(self):
+        out = monobit_test(_words())
+        assert out.passed == (out.p_value >= 0.01)
+
+
+class TestBatteryCatchesBrokenGenerators:
+    def test_constant_stream_fails_monobit(self):
+        assert not monobit_test(np.zeros(4096, dtype=np.uint32)).passed
+
+    def test_all_ones_fails(self):
+        words = np.full(4096, 0xFFFFFFFF, dtype=np.uint32)
+        assert not monobit_test(words).passed
+
+    def test_alternating_words_fail_spectral(self):
+        words = np.tile(
+            np.array([0x00000000, 0xFFFFFFFF], dtype=np.uint32), 8192
+        )
+        assert not spectral_lag_test(words).passed
+
+    def test_counter_fails_serial_pairs(self):
+        words = np.arange(1 << 16, dtype=np.uint32) << 16
+        assert not serial_pairs_test(words).passed
+
+    def test_stuck_bit_fails_block_frequency(self):
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2**32, 1 << 14, dtype=np.uint64).astype(np.uint32)
+        words |= 0xFF000000  # 8 stuck-high bits
+        assert not block_frequency_test(words).passed
+
+    def test_long_runs_fail_runs_test(self):
+        # bytes of solid ones/zeros create far too few runs
+        words = np.tile(
+            np.array([0xFFFF0000, 0x0000FFFF], dtype=np.uint32), 4096
+        )
+        assert not runs_test(words).passed
+
+
+class TestShippedGeneratorsPass:
+    @pytest.mark.parametrize("params_name", ["mt19937", "mt521"])
+    def test_battery_passes(self, params_name):
+        params = None if params_name == "mt19937" else MT521_PARAMS
+        outcomes = run_battery(_words(params))
+        failed = [o.name for o in outcomes if not o.passed]
+        assert not failed, failed
+
+    def test_family_members_pass_battery(self):
+        family = find_mt_family(521, count=2)
+        for params in family:
+            outcomes = run_battery(_words(params, seed=11, count=1 << 15))
+            failed = [o.name for o in outcomes if not o.passed]
+            assert not failed, (hex(params.a), failed)
+
+    def test_battery_returns_all_seven(self):
+        names = {o.name for o in run_battery(_words(count=1 << 15))}
+        assert names == {
+            "monobit", "block_frequency", "runs", "serial_pairs",
+            "spectral_lag", "gap", "birthday_spacings",
+        }
+
+
+class TestGapAndBirthday:
+    def test_gap_validation(self):
+        import numpy as np
+        from repro.rng.battery import gap_test
+
+        with pytest.raises(ValueError):
+            gap_test(_words(), lo=0.7, hi=0.2)
+        with pytest.raises(ValueError):
+            gap_test(np.zeros(100, dtype=np.uint32) + 2**31)  # no hits
+
+    def test_gap_catches_counter(self):
+        import numpy as np
+        from repro.rng.battery import gap_test
+
+        counter = (np.arange(1 << 15, dtype=np.uint32) * 12345).astype(
+            np.uint32
+        )
+        assert not gap_test(counter).passed
+
+    def test_birthday_validation(self):
+        import numpy as np
+        from repro.rng.battery import birthday_spacings_test
+
+        with pytest.raises(ValueError):
+            birthday_spacings_test(np.zeros(100, dtype=np.uint32))
+
+    def test_birthday_catches_low_entropy(self):
+        import numpy as np
+        from repro.rng.battery import birthday_spacings_test
+
+        base = np.random.default_rng(1).integers(
+            0, 2**32, 1 << 11, dtype=np.uint64
+        ).astype(np.uint32)
+        repeated = np.repeat(base, 32)
+        assert not birthday_spacings_test(repeated).passed

@@ -1,0 +1,110 @@
+"""Tests for the dynamic-creation parameter search (paper ref [18])."""
+
+import pytest
+
+from repro.rng import MT521_PARAMS, MT19937_PARAMS
+from repro.rng.dynamic_creation import (
+    MERSENNE_PRIME_EXPONENTS,
+    check_period,
+    find_mt_params,
+    layout_for_exponent,
+    min_poly_of_recurrence,
+)
+from repro.rng import gf2
+
+
+class TestLayout:
+    def test_exponent_521(self):
+        assert layout_for_exponent(521) == (17, 23)
+
+    def test_exponent_19937(self):
+        assert layout_for_exponent(19937) == (624, 31)
+
+    def test_exponent_89(self):
+        assert layout_for_exponent(89) == (3, 7)
+
+    def test_exact_multiple_gets_extra_word(self):
+        # exponent 64 = 2*32 would give r=0 n=2: allowed (r=0 valid)
+        n, r = layout_for_exponent(64)
+        assert n * 32 - r == 64
+
+    def test_tiny_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            layout_for_exponent(1)
+
+    @pytest.mark.parametrize("p", [89, 127, 521])
+    def test_layout_invariant(self, p):
+        n, r = layout_for_exponent(p)
+        assert n * 32 - r == p
+        assert 0 <= r < 32
+        assert n >= 2
+
+
+class TestMinPoly:
+    def test_mt19937_charpoly_has_full_degree(self):
+        c = min_poly_of_recurrence(32, 624, 397, 31, 0x9908B0DF)
+        assert gf2.degree(c) == 19937
+
+    def test_shipped_mt521_charpoly_full_degree(self):
+        p = MT521_PARAMS
+        c = min_poly_of_recurrence(p.w, p.n, p.m, p.r, p.a)
+        assert gf2.degree(c) == 521
+
+
+class TestCheckPeriod:
+    def test_shipped_mt521_params_are_maximal_period(self):
+        p = MT521_PARAMS
+        assert check_period(p.w, p.n, p.m, p.r, p.a)
+
+    def test_known_bad_candidate_fails(self):
+        # a = 0 gives a pure shift recurrence — far from primitive
+        assert not check_period(32, 17, 8, 23, 0)
+
+    def test_most_random_candidates_fail(self):
+        hits = sum(
+            check_period(32, 3, 1, 7, (0x9E3779B9 * k) & 0xFFFFFFFF | 0x80000000)
+            for k in range(1, 25)
+        )
+        assert hits < 12  # primitivity is rare; sanity-check the filter bites
+
+    def test_non_mersenne_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            check_period(32, 4, 2, 5, 0x9908B0DF)  # exponent 123
+
+
+class TestSearch:
+    def test_find_p89_deterministic(self):
+        r1 = find_mt_params(89)
+        r2 = find_mt_params(89)
+        assert r1.params == r2.params
+        assert r1.candidates_tried == r2.candidates_tried
+
+    def test_found_params_verify(self):
+        r = find_mt_params(89)
+        p = r.params
+        assert p.exponent == 89
+        assert check_period(p.w, p.n, p.m, p.r, p.a)
+
+    def test_different_seed_different_params(self):
+        a = find_mt_params(89, seed=4357).params
+        b = find_mt_params(89, seed=1234).params
+        assert (a.a, a.m) != (b.a, b.m)
+
+    def test_max_candidates_respected(self):
+        with pytest.raises(RuntimeError):
+            find_mt_params(89, max_candidates=0)
+
+    def test_search_521_reproduces_shipped_params(self):
+        """The published MT521_PARAMS must be exactly what the default
+        search finds — provenance check for the shipped constants."""
+        r = find_mt_params(521)
+        assert r.params == MT521_PARAMS
+
+
+class TestExponentTable:
+    def test_both_table1_exponents_listed(self):
+        assert 521 in MERSENNE_PRIME_EXPONENTS
+        assert 19937 in MERSENNE_PRIME_EXPONENTS
+
+    def test_mt19937_layout_matches_classic(self):
+        assert (MT19937_PARAMS.n, MT19937_PARAMS.r) == layout_for_exponent(19937)

@@ -1,0 +1,205 @@
+"""Tests for the Marsaglia-Tsang gamma generator (the test-case core)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.rng import (
+    MarsagliaBray,
+    MarsagliaTsangGamma,
+    MersenneTwister,
+    gamma_attempt,
+    gamma_samples,
+    marsaglia_tsang_constants,
+)
+from repro.rng.gamma import gamma_correct
+from repro.rng.mersenne import MT521_PARAMS
+
+
+class TestConstants:
+    def test_alpha_ge_1_not_boosted(self):
+        c = marsaglia_tsang_constants(2.5)
+        assert not c.boosted
+        assert c.alpha_eff == 2.5
+        assert c.d == pytest.approx(2.5 - 1 / 3)
+        assert c.c == pytest.approx(1 / math.sqrt(9 * c.d))
+
+    def test_alpha_lt_1_boosted(self):
+        c = marsaglia_tsang_constants(0.5)
+        assert c.boosted
+        assert c.alpha_eff == 1.5
+
+    def test_creditriskplus_parameterization(self):
+        # sector variance v=1.39 → alpha = 1/v < 1 → boosted path
+        v = 1.39
+        c = marsaglia_tsang_constants(1 / v)
+        assert c.boosted
+        assert c.inv_alpha == pytest.approx(v)
+
+    def test_alpha_exactly_one(self):
+        assert not marsaglia_tsang_constants(1.0).boosted
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_alpha_rejected(self, bad):
+        with pytest.raises(ValueError):
+            marsaglia_tsang_constants(bad)
+
+
+class TestAttempt:
+    def test_typical_accept(self):
+        c = marsaglia_tsang_constants(2.0)
+        value, valid = gamma_attempt(0.1, 0.5, c)
+        assert valid
+        t = 1 + c.c * 0.1
+        assert value == pytest.approx(c.d * t**3)
+
+    def test_negative_cube_rejects(self):
+        c = marsaglia_tsang_constants(2.0)
+        # x far negative makes 1 + c*x <= 0
+        x = -1.0 / c.c - 1.0
+        value, valid = gamma_attempt(x, 0.5, c)
+        assert not valid and value == 0.0
+
+    def test_squeeze_accepts_without_logs(self):
+        c = marsaglia_tsang_constants(2.0)
+        # tiny x, small u1: squeeze 1 - 0.0331 x^4 ≈ 1 > u1
+        _, valid = gamma_attempt(0.01, 0.0001, c)
+        assert valid
+
+    def test_full_test_can_reject(self):
+        c = marsaglia_tsang_constants(2.0)
+        # large |x| with u1 near 1 should fail both squeeze and log test
+        _, valid = gamma_attempt(2.5, 0.999999, c)
+        assert not valid
+
+    def test_correction_scales_down(self):
+        c = marsaglia_tsang_constants(0.5)
+        corrected = gamma_correct(2.0, 0.5, c)
+        assert corrected == pytest.approx(2.0 * 0.5**2.0)
+        assert corrected < 2.0
+
+    def test_correction_with_u_near_one_is_identity(self):
+        c = marsaglia_tsang_constants(0.5)
+        assert gamma_correct(3.0, 1.0 - 1e-12, c) == pytest.approx(3.0, rel=1e-9)
+
+
+class TestVectorizedSampler:
+    @pytest.mark.parametrize("alpha,scale", [(2.0, 1.0), (0.5, 2.0), (1 / 1.39, 1.39)])
+    def test_moments(self, alpha, scale):
+        s = gamma_samples(alpha, 200000, scale=scale, seed=7)
+        assert s.mean() == pytest.approx(alpha * scale, rel=0.02)
+        assert s.var() == pytest.approx(alpha * scale**2, rel=0.05)
+
+    @pytest.mark.parametrize("v", [0.35, 1.39])
+    def test_fig6_distributions_ks(self, v):
+        """Fig 6 validation: sector-variance parameterization vs the exact
+        gamma distribution (our stand-in for Matlab's gamrnd)."""
+        s = gamma_samples(1 / v, 150000, scale=v, seed=11)
+        p = stats.kstest(s, "gamma", args=(1 / v, 0, v)).pvalue
+        assert p > 1e-3
+
+    def test_all_positive(self):
+        assert np.all(gamma_samples(0.7, 50000, seed=3) > 0)
+
+    def test_seed_reproducible(self):
+        a = gamma_samples(1.5, 1000, seed=42)
+        b = gamma_samples(1.5, 1000, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stats_returned(self):
+        _, st_ = gamma_samples(2.0, 10000, seed=1, return_stats=True)
+        assert st_["attempts"] >= st_["accepts"] > 0
+        assert 0.0 <= st_["rejection_rate"] < 0.2
+
+    def test_rejection_rate_grows_with_smaller_alpha_eff(self):
+        """Paper §IV-E: gamma rejection rises with the sector variance
+        (5.3 % at v=0.1 up to 10.2 % at v=100 on their setup)."""
+        _, lo = gamma_samples(1 / 0.1, 50000, seed=5, return_stats=True)
+        _, hi = gamma_samples(1 / 100.0, 50000, seed=5, return_stats=True)
+        assert hi["rejection_rate"] > lo["rejection_rate"]
+
+
+class TestNestedGenerator:
+    def _make(self, v=1.39):
+        mb = MarsagliaBray(
+            MersenneTwister(MT521_PARAMS, seed=11),
+            MersenneTwister(MT521_PARAMS, seed=22),
+        )
+        return MarsagliaTsangGamma(
+            alpha=1 / v,
+            normal_source=mb.attempt,
+            mt_reject=MersenneTwister(MT521_PARAMS, seed=33),
+            mt_correct=MersenneTwister(MT521_PARAMS, seed=44),
+            scale=v,
+        )
+
+    def test_attempt_semantics(self):
+        g = self._make()
+        results = [g.attempt() for _ in range(2000)]
+        valids = [v for v, ok in results if ok]
+        invalid_values = [v for v, ok in results if not ok]
+        assert all(v == 0.0 for v in invalid_values)
+        assert all(v > 0 for v in valids)
+
+    def test_combined_rejection_rate_band(self):
+        """Combined MB+MT rejection: our measured rate lands in the low-20s
+        (polar ≈ 21.5 % times gamma ≈ 2-3 %); the paper's testbed reports
+        30.3 % — same regime, well above the ICDF path's single digits."""
+        g = self._make()
+        for _ in range(20000):
+            g.attempt()
+        assert 0.15 < g.measured_rejection_rate < 0.35
+
+    def test_distribution_of_nested_generator(self):
+        v = 1.39
+        g = self._make(v)
+        s = g.samples(4000)
+        p = stats.kstest(s, "gamma", args=(1 / v, 0, v)).pvalue
+        assert p > 1e-4
+
+    def test_mean_near_one(self):
+        # CreditRisk+ sectors are normalized to E(S_k) = 1
+        g = self._make(0.8)
+        s = g.samples(4000)
+        assert s.mean() == pytest.approx(1.0, abs=0.08)
+
+    def test_uniform_streams_not_corrupted(self):
+        """Listing 3 invariant: rejected attempts must not consume the
+        gated twisters.  Compare against a hand-gated replay."""
+        g = self._make()
+        mt_ref = MersenneTwister(MT521_PARAMS, seed=33)
+        consumed = 0
+        for _ in range(500):
+            before = g.mt_reject.get_state()
+            _, _ = g.attempt()
+            after = g.mt_reject.get_state()
+            if before[1] != after[1] or not np.array_equal(before[0], after[0]):
+                consumed += 1
+        # the reject-uniform twister advances only on valid normals (~78 %)
+        assert 0.6 < consumed / 500 < 0.95
+
+
+@given(
+    alpha=st.floats(min_value=0.05, max_value=50.0),
+    x=st.floats(min_value=-4.0, max_value=4.0),
+    u1=st.floats(min_value=1e-9, max_value=1.0 - 1e-9),
+)
+@settings(max_examples=300)
+def test_prop_attempt_value_nonnegative_iff_valid(alpha, x, u1):
+    c = marsaglia_tsang_constants(alpha)
+    value, valid = gamma_attempt(x, u1, c)
+    if valid:
+        assert value > 0.0
+    else:
+        assert value == 0.0
+
+
+@given(alpha=st.floats(min_value=0.05, max_value=0.999))
+@settings(max_examples=100)
+def test_prop_boost_always_for_alpha_below_one(alpha):
+    c = marsaglia_tsang_constants(alpha)
+    assert c.boosted and c.alpha_eff == pytest.approx(alpha + 1.0)
+    assert c.d > 2.0 / 3.0

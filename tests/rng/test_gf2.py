@@ -1,0 +1,179 @@
+"""Tests for GF(2) polynomial arithmetic and Berlekamp-Massey."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rng import gf2
+
+polys = st.integers(min_value=1, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_degree(self):
+        assert gf2.degree(0) == -1
+        assert gf2.degree(1) == 0
+        assert gf2.degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert gf2.mul(0b11, 0b11) == 0b101
+
+    def test_mul_by_x(self):
+        assert gf2.mul(0b1011, 0b10) == 0b10110
+
+    def test_mod_simple(self):
+        # x^2 mod (x^2 + x + 1) = x + 1
+        assert gf2.mod(0b100, 0b111) == 0b11
+
+    def test_mod_zero_modulus(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2.mod(0b101, 0)
+
+    def test_divmod(self):
+        q, r = gf2.divmod_poly(0b100, 0b111)
+        assert q == 0b1 and r == 0b11
+        assert gf2.mul(q, 0b111) ^ r == 0b100
+
+    def test_square_matches_mul(self):
+        for p in [0b1, 0b10, 0b1101, 0xDEADBEEF]:
+            assert gf2.square(p) == gf2.mul(p, p)
+
+    def test_powmod_small(self):
+        m = 0b111  # x^2 + x + 1, field GF(4)
+        # x^3 = 1 in GF(4)
+        assert gf2.powmod(0b10, 3, m) == 1
+
+    def test_gcd(self):
+        # gcd(x^2 + 1, x + 1) = x + 1 since x^2+1 = (x+1)^2
+        assert gf2.gcd(0b101, 0b11) == 0b11
+
+    def test_x_pow_2k_mod(self):
+        m = 0b111
+        assert gf2.x_pow_2k_mod(m, 1) == gf2.mulmod(0b10, 0b10, m)
+
+
+class TestIrreducibility:
+    # all irreducible polynomials of degree <= 4 over GF(2)
+    IRREDUCIBLE = [0b10, 0b11, 0b111, 0b1011, 0b1101, 0b10011, 0b11001, 0b11111]
+    REDUCIBLE = [0b101, 0b110, 0b1001, 0b1111, 0b10101, 0b100, 0b1010]
+
+    @pytest.mark.parametrize("f", IRREDUCIBLE)
+    def test_known_irreducible(self, f):
+        assert gf2.is_irreducible(f)
+
+    @pytest.mark.parametrize("f", REDUCIBLE)
+    def test_known_reducible(self, f):
+        assert not gf2.is_irreducible(f)
+
+    def test_degree_zero_and_constants(self):
+        assert not gf2.is_irreducible(0)
+        assert not gf2.is_irreducible(1)
+
+    def test_primitive_trinomial_x31(self):
+        # x^31 + x^3 + 1 is a classic primitive trinomial; 2^31-1 is prime
+        f = (1 << 31) | (1 << 3) | 1
+        assert gf2.is_primitive(f)
+
+    def test_irreducible_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but x has order 5, not 15
+        f = 0b11111
+        assert gf2.is_irreducible(f)
+        assert not gf2.is_primitive(f, factors_of_order=[3, 5])
+
+    def test_primitive_with_factors(self):
+        # x^4 + x + 1 is primitive (order 15 = 3 * 5)
+        assert gf2.is_primitive(0b10011, factors_of_order=[3, 5])
+
+
+class TestBerlekampMassey:
+    def _lfsr_bits(self, taps: int, init: int, length: int, count: int):
+        """Generate a Fibonacci-LFSR sequence with connection poly `taps`."""
+        state = [(init >> i) & 1 for i in range(length)]
+        out = []
+        for _ in range(count):
+            out.append(state[0])
+            fb = 0
+            t = taps >> 1
+            for j in range(length):
+                if (t >> j) & 1:
+                    fb ^= state[j]
+            state = state[1:] + [fb]
+        return out
+
+    def test_recovers_lfsr_poly(self):
+        taps = 0b10011  # x^4 + x + 1 (primitive)
+        bits = self._lfsr_bits(taps, 0b0001, 4, 30)
+        assert gf2.berlekamp_massey(bits) == taps
+
+    def test_recovers_trinomial(self):
+        taps = (1 << 7) | (1 << 1) | 1  # x^7 + x + 1
+        bits = self._lfsr_bits(taps, 0b1010101, 7, 40)
+        assert gf2.berlekamp_massey(bits) == taps
+
+    def test_all_zero_sequence(self):
+        assert gf2.berlekamp_massey([0] * 16) == 1
+
+    def test_alternating_sequence(self):
+        # s_i = s_{i-2}: minimal connection polynomial is x^2 + 1
+        c = gf2.berlekamp_massey([1, 0, 1, 0, 1, 0, 1, 0])
+        assert c == 0b101
+
+    def test_min_poly_of_map(self):
+        # companion map of x^4 + x + 1 acting on 4-bit states
+        taps = 0b10011
+
+        def step(s):
+            fb = (s & 1) ^ ((s >> 1) & 1)  # taps at x^1 (bit1 of poly >> ...)
+            return (s >> 1) | (fb << 3)
+
+        # project lowest bit
+        c = gf2.min_poly_of_map(step, lambda s: s & 1, 0b1000, 4)
+        assert gf2.degree(c) == 4
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@given(a=polys, b=polys)
+def test_prop_mul_commutative(a, b):
+    assert gf2.mul(a, b) == gf2.mul(b, a)
+
+
+@given(a=polys, b=polys, c=polys)
+@settings(max_examples=50)
+def test_prop_mul_distributes_over_xor(a, b, c):
+    assert gf2.mul(a, b ^ c) == gf2.mul(a, b) ^ gf2.mul(a, c)
+
+
+@given(a=polys, m=polys.filter(lambda p: p > 1))
+def test_prop_mod_degree_below_modulus(a, m):
+    assert gf2.degree(gf2.mod(a, m)) < gf2.degree(m)
+
+
+@given(a=polys, m=polys.filter(lambda p: p > 1))
+def test_prop_divmod_reconstructs(a, m):
+    q, r = gf2.divmod_poly(a, m)
+    assert gf2.mul(q, m) ^ r == a
+
+
+@given(a=polys, m=polys.filter(lambda p: p > 1))
+def test_prop_square_mod_matches_mulmod(a, m):
+    assert gf2.square_mod(a, m) == gf2.mulmod(a, a, m)
+
+
+@given(a=polys, b=polys)
+def test_prop_gcd_divides_both(a, b):
+    g = gf2.gcd(a, b)
+    assert gf2.mod(a, g) == 0
+    assert gf2.mod(b, g) == 0
+
+
+@given(a=polys, e=st.integers(min_value=0, max_value=64), m=polys.filter(lambda p: p > 1))
+@settings(max_examples=50)
+def test_prop_powmod_matches_repeated_mul(a, e, m):
+    expected = 1
+    for _ in range(e):
+        expected = gf2.mulmod(expected, a, m)
+    assert gf2.powmod(a, e, m) == expected

@@ -1,0 +1,63 @@
+"""Tests for dynamic creation of parallel twister families (ref [18])."""
+
+import numpy as np
+import pytest
+
+from repro.rng import MersenneTwister
+from repro.rng.dynamic_creation import check_period, find_mt_family
+
+
+class TestFindFamily:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return find_mt_family(89, count=4)
+
+    def test_requested_count(self, family):
+        assert len(family) == 4
+
+    def test_distinct_twist_coefficients(self, family):
+        a_values = [p.a for p in family]
+        assert len(set(a_values)) == len(a_values)
+
+    def test_all_maximal_period(self, family):
+        for p in family:
+            assert check_period(p.w, p.n, p.m, p.r, p.a)
+
+    def test_same_layout(self, family):
+        assert {(p.n, p.r) for p in family} == {(3, 7)}
+
+    def test_streams_differ_even_with_same_seed(self, family):
+        """The dynamic-creation guarantee: different recurrences give
+        different streams even under identical seeding."""
+        streams = [
+            MersenneTwister(p, seed=1234).generate(64).tolist() for p in family
+        ]
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert streams[i] != streams[j]
+
+    def test_streams_uncorrelated(self, family):
+        a = MersenneTwister(family[0], seed=7).generate(50000).astype(np.float64)
+        b = MersenneTwister(family[1], seed=7).generate(50000).astype(np.float64)
+        a = (a - a.mean()) / a.std()
+        b = (b - b.mean()) / b.std()
+        assert abs(float(np.mean(a * b))) < 0.02
+
+    def test_deterministic(self):
+        f1 = find_mt_family(89, count=2)
+        f2 = find_mt_family(89, count=2)
+        assert f1 == f2
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            find_mt_family(89, count=0)
+
+    def test_budget_exhaustion(self):
+        with pytest.raises(RuntimeError):
+            find_mt_family(89, count=3, max_candidates=1)
+
+    def test_family_521_two_members(self):
+        family = find_mt_family(521, count=2)
+        assert family[0].a != family[1].a
+        for p in family:
+            assert p.exponent == 521

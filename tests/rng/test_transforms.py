@@ -1,0 +1,211 @@
+"""Tests for uniform→normal transforms: Marsaglia-Bray, Box-Muller, erfinv."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import special, stats
+
+from repro.rng import (
+    POLAR_ACCEPTANCE,
+    MarsagliaBray,
+    MersenneTwister,
+    box_muller,
+    box_muller_pair,
+    erfcinv,
+    erfinv,
+    marsaglia_bray_attempt,
+    marsaglia_bray_normals,
+    uint_to_float,
+    uint_to_symmetric,
+    float_to_uint,
+)
+from repro.rng.marsaglia_bray import marsaglia_bray_pair
+from repro.rng.erfinv import tail_branch_probability
+
+
+class TestUniformConversion:
+    def test_scalar_range(self):
+        assert 0.0 < uint_to_float(0) < 1.0
+        assert 0.0 < uint_to_float(2**32 - 1) < 1.0
+
+    def test_scalar_midpoint(self):
+        assert uint_to_float(2**31) == pytest.approx(0.5, abs=1e-7)
+
+    def test_array_open_interval(self):
+        u = np.array([0, 1, 2**31, 2**32 - 1], dtype=np.uint32)
+        f = uint_to_float(u)
+        assert f.dtype == np.float32
+        assert np.all(f > 0.0) and np.all(f < 1.0)
+
+    def test_monotone(self):
+        u = np.arange(0, 2**32, 2**24, dtype=np.uint64)
+        f = uint_to_float(u)
+        assert np.all(np.diff(f.astype(np.float64)) > 0)
+
+    def test_symmetric_range(self):
+        u = np.array([0, 2**31, 2**32 - 1], dtype=np.uint32)
+        s = uint_to_symmetric(u)
+        assert np.all(s > -1.0) and np.all(s < 1.0)
+        assert s[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric_scalar(self):
+        assert uint_to_symmetric(0) < -0.99
+        assert uint_to_symmetric(2**32 - 1) > 0.99
+
+    def test_float_to_uint_roundtrip(self):
+        for u in [0, 12345, 2**31, 2**32 - 1]:
+            assert abs(float_to_uint(uint_to_float(u)) - u) <= 2**9
+
+    def test_float_to_uint_array(self):
+        f = np.array([0.25, 0.5, 0.75], dtype=np.float64)
+        out = float_to_uint(f)
+        assert out.dtype == np.uint32
+        np.testing.assert_allclose(out / 2**32, f, atol=1e-6)
+
+
+class TestMarsagliaBrayAttempt:
+    def test_accepts_inside_disc(self):
+        value, valid = marsaglia_bray_attempt(0.3, 0.4)
+        assert valid
+        s = 0.25
+        assert value == pytest.approx(0.3 * math.sqrt(-2 * math.log(s) / s))
+
+    def test_rejects_outside_disc(self):
+        value, valid = marsaglia_bray_attempt(0.9, 0.9)
+        assert not valid and value == 0.0
+
+    def test_rejects_origin(self):
+        _, valid = marsaglia_bray_attempt(0.0, 0.0)
+        assert not valid
+
+    def test_boundary_rejected(self):
+        _, valid = marsaglia_bray_attempt(1.0, 0.0)
+        assert not valid
+
+    def test_pair_variant_consistent(self):
+        v1, v2, valid = marsaglia_bray_pair(0.3, 0.4)
+        single, valid2 = marsaglia_bray_attempt(0.3, 0.4)
+        assert valid and valid2
+        assert v1 == pytest.approx(single)
+        assert v2 / v1 == pytest.approx(0.4 / 0.3)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        u1 = rng.uniform(-1, 1, 500)
+        u2 = rng.uniform(-1, 1, 500)
+        values, valid = marsaglia_bray_normals(u1, u2)
+        for i in range(0, 500, 17):
+            v, ok = marsaglia_bray_attempt(float(u1[i]), float(u2[i]))
+            assert ok == valid[i]
+            if ok:
+                assert values[i] == pytest.approx(v, rel=1e-5)
+
+
+class TestMarsagliaBrayGenerator:
+    @pytest.fixture()
+    def mb(self):
+        return MarsagliaBray(MersenneTwister(seed=101), MersenneTwister(seed=202))
+
+    def test_acceptance_rate_near_pi_over_4(self, mb):
+        mb.normals(50000)
+        assert mb.measured_rejection_rate == pytest.approx(
+            1 - POLAR_ACCEPTANCE, abs=0.01
+        )
+
+    def test_normality_ks(self, mb):
+        ns = mb.normals(100000)
+        assert stats.kstest(ns, "norm").pvalue > 1e-3
+
+    def test_scalar_loop_matches_distribution(self, mb):
+        vals = np.array([mb.next_normal() for _ in range(5000)])
+        assert abs(vals.mean()) < 0.06
+        assert abs(vals.std() - 1.0) < 0.05
+
+    def test_rejection_rate_initially_zero(self, mb):
+        assert mb.measured_rejection_rate == 0.0
+
+    def test_attempt_counting(self, mb):
+        for _ in range(100):
+            mb.attempt()
+        assert mb.attempts == 100
+        assert 0 < mb.accepts <= 100
+
+
+class TestBoxMuller:
+    def test_pair_known_value(self):
+        z0, z1 = box_muller_pair(math.exp(-0.5), 0.25)
+        # radius = 1, angle = pi/2
+        assert z0 == pytest.approx(0.0, abs=1e-12)
+        assert z1 == pytest.approx(1.0)
+
+    def test_invalid_u1_rejected(self):
+        with pytest.raises(ValueError):
+            box_muller_pair(0.0, 0.5)
+        with pytest.raises(ValueError):
+            box_muller_pair(1.0, 0.5)
+
+    def test_vectorized_normality(self):
+        rng = np.random.default_rng(9)
+        z = box_muller(rng.random(100000) * (1 - 1e-9) + 1e-12, rng.random(100000))
+        assert stats.kstest(z, "norm").pvalue > 1e-3
+
+    def test_no_rejection(self):
+        rng = np.random.default_rng(10)
+        z = box_muller(rng.random(1000) * 0.999 + 5e-4, rng.random(1000))
+        assert z.shape == (1000,)
+        assert np.all(np.isfinite(z))
+
+
+class TestErfinv:
+    def test_matches_scipy_central(self):
+        x = np.linspace(-0.95, 0.95, 5001)
+        np.testing.assert_allclose(erfinv(x), special.erfinv(x), atol=5e-7)
+
+    def test_matches_scipy_tails(self):
+        x = np.array([-0.99999, -0.9999, 0.9999, 0.99999])
+        np.testing.assert_allclose(erfinv(x), special.erfinv(x), rtol=2e-6)
+
+    def test_scalar_input(self):
+        assert erfinv(0.5) == pytest.approx(float(special.erfinv(0.5)), abs=1e-7)
+        assert isinstance(erfinv(0.5), float)
+
+    def test_zero_maps_to_zero(self):
+        assert erfinv(0.0) == pytest.approx(0.0, abs=1e-8)
+
+    def test_odd_symmetry(self):
+        x = np.linspace(0.01, 0.99, 99)
+        np.testing.assert_allclose(erfinv(x), -erfinv(-x), rtol=1e-12)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            erfinv(1.0)
+        with pytest.raises(ValueError):
+            erfinv(np.array([0.5, -1.5]))
+
+    def test_erfcinv_identity(self):
+        x = np.linspace(0.01, 1.99, 199)
+        np.testing.assert_allclose(erfcinv(x), special.erfcinv(x), atol=5e-7)
+
+    def test_tail_branch_probability_tiny(self):
+        rng = np.random.default_rng(3)
+        u = rng.random(200000) * 2 - 1
+        # tail branch (w >= 5) fires for |x| > sqrt(1 - e^-5) ≈ 0.99663,
+        # i.e. ~0.34 % of uniform inputs
+        assert tail_branch_probability(u) < 6e-3
+
+
+@given(u1=st.floats(min_value=-0.999, max_value=0.999),
+       u2=st.floats(min_value=-0.999, max_value=0.999))
+@settings(max_examples=200)
+def test_prop_polar_validity_is_disc_membership(u1, u2):
+    _, valid = marsaglia_bray_attempt(u1, u2)
+    s = u1 * u1 + u2 * u2
+    assert valid == (0.0 < s < 1.0)
+
+
+@given(x=st.floats(min_value=-0.99999, max_value=0.99999))
+@settings(max_examples=200)
+def test_prop_erfinv_roundtrip(x):
+    assert float(special.erf(erfinv(x))) == pytest.approx(x, abs=1e-6)

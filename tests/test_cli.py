@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestMainFunction:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "[table1:" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "eq1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Eq (1)" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig42"])
+
+    def test_fig8_summarized(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out and "plateau" in out
+
+
+def test_module_invocation():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "table2"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Table II" in proc.stdout

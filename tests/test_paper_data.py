@@ -1,0 +1,80 @@
+"""Consistency checks on the published reference data (repro.paper)."""
+
+import pytest
+
+from repro import paper
+
+
+class TestSetup:
+    def test_total_outputs(self):
+        assert paper.SETUP.total_outputs == 2_621_440 * 240
+
+    def test_outputs_per_work_item(self):
+        # 629,145,600 / 65,536 = 9,600 exactly
+        assert paper.SETUP.outputs_per_work_item == 9600
+        assert (
+            paper.SETUP.outputs_per_work_item * paper.SETUP.global_size
+            == paper.SETUP.total_outputs
+        )
+
+    def test_data_volume_is_2_5_gb(self):
+        # "a total of ~2.5 GB of generated data ... per simulation run"
+        assert paper.SETUP.total_bytes == pytest.approx(2.5e9, rel=0.01)
+
+
+class TestTables:
+    def test_table1_configs(self):
+        assert paper.TABLE1["Config2"]["states"] == 17
+        assert paper.TABLE1["Config3"]["transform"] == "icdf"
+
+    def test_table3_complete(self):
+        for row in paper.TABLE3_RUNTIME_MS.values():
+            assert set(row) == {"CPU", "GPU", "PHI", "FPGA"}
+            assert all(v > 0 for v in row.values())
+
+    def test_fpga_same_runtime_both_icdf_rows(self):
+        # the FPGA always runs the bit-level ICDF: identical cells
+        assert (
+            paper.TABLE3_RUNTIME_MS["Config3_cuda"]["FPGA"]
+            == paper.TABLE3_RUNTIME_MS["Config3_fpga_style"]["FPGA"]
+        )
+
+    def test_headline_speedup(self):
+        # "FPGAs can deliver up to 5.5x speedup"
+        t = paper.TABLE3_RUNTIME_MS["Config1"]
+        assert t["CPU"] / t["FPGA"] == pytest.approx(5.5, abs=0.1)
+        assert t["GPU"] / t["FPGA"] == pytest.approx(3.5, abs=0.1)
+        assert t["PHI"] / t["FPGA"] == pytest.approx(1.4, abs=0.1)
+
+    def test_table2_availability(self):
+        avail = paper.TABLE2_UTILIZATION["available"]
+        assert avail == {"Slice": 107_400, "DSP": 3_600, "BRAM": 1_470}
+
+    def test_rejection_rate_ranges_ordered(self):
+        for t in ("marsaglia_bray", "icdf"):
+            r = paper.REJECTION_RATES[t]
+            assert r["v0.1"] < r["setup"] < r["v100"]
+
+    def test_eq1_consistency(self):
+        """The paper's own Eq (1) numbers recompute from its inputs."""
+        s = paper.SETUP
+        t12 = (
+            s.total_outputs / (6 * s.fpga_frequency_hz) * (1 + 0.303) * 1e3
+        )
+        t34 = (
+            s.total_outputs / (8 * s.fpga_frequency_hz) * (1 + 0.074) * 1e3
+        )
+        assert t12 == pytest.approx(paper.EQ1_PREDICTIONS_MS["Config1,2"], rel=0.01)
+        assert t34 == pytest.approx(paper.EQ1_PREDICTIONS_MS["Config3,4"], rel=0.01)
+
+    def test_measured_bandwidth_consistent_with_runtime(self):
+        """§IV-E: total data / measured runtime ≈ quoted bandwidth."""
+        gb = paper.SETUP.total_bytes / 1e9
+        t12 = paper.TABLE3_RUNTIME_MS["Config1"]["FPGA"] / 1e3
+        assert gb / t12 == pytest.approx(
+            paper.MEASURED_BANDWIDTH_GBPS["Config1,2"], rel=0.02
+        )
+        t34 = paper.TABLE3_RUNTIME_MS["Config3_cuda"]["FPGA"] / 1e3
+        assert gb / t34 == pytest.approx(
+            paper.MEASURED_BANDWIDTH_GBPS["Config3,4"], rel=0.02
+        )

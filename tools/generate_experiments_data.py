@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Runs every harness driver and prints the artifacts both as plain text
+and as GitHub-flavored markdown, so documentation updates never involve
+retyping numbers::
+
+    python tools/generate_experiments_data.py            # text
+    python tools/generate_experiments_data.py --markdown # markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import harness
+from repro.harness.reporting import to_markdown
+
+DRIVERS = (
+    harness.run_table1,
+    harness.run_table2,
+    harness.run_table3,
+    harness.run_fig2,
+    harness.run_fig5a,
+    harness.run_fig5b,
+    harness.run_fig6,
+    harness.run_fig7,
+    harness.run_fig9,
+    harness.run_eq1,
+    harness.run_rejection_rates,
+    harness.run_buffer_combining,
+    harness.run_variance_sweep,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit GitHub-flavored markdown tables")
+    args = parser.parse_args(argv)
+    for driver in DRIVERS:
+        result = driver()
+        if args.markdown:
+            print(to_markdown(result.headers, result.rows,
+                              title=result.experiment))
+        else:
+            print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
