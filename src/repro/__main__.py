@@ -4,37 +4,78 @@ Usage::
 
     python -m repro                 # every table and figure
     python -m repro table3 fig9    # a selection
+    python -m repro serve-bench    # the execution-engine throughput bench
     python -m repro --list         # available experiment names
+    python -m repro --json eq1     # machine-readable results
+
+The experiment table derives from :mod:`repro.harness.registry`; new
+drivers register there (eagerly or lazily) and appear here without
+touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from repro import harness
+from repro.harness import registry
 
-EXPERIMENTS = {
-    "table1": harness.run_table1,
-    "table2": harness.run_table2,
-    "table3": harness.run_table3,
-    "fig2": harness.run_fig2,
-    "fig3": harness.run_fig3,
-    "variance": harness.run_variance_sweep,
-    "fig5a": harness.run_fig5a,
-    "fig5b": harness.run_fig5b,
-    "fig6": harness.run_fig6,
-    "fig7": harness.run_fig7,
-    "fig8": harness.run_fig8,
-    "fig9": harness.run_fig9,
-    "eq1": harness.run_eq1,
-    "rejection": harness.run_rejection_rates,
-    "buffers": harness.run_buffer_combining,
-}
+
+def _experiments() -> dict:
+    """name → runner, resolved from the registry at call time."""
+    return registry.runners()
+
+
+# kept as a module attribute for backwards compatibility (tests and
+# downstream tooling import it); reflects the registry at import time
+EXPERIMENTS = _experiments()
+
+
+def _jsonable(value):
+    """Coerce driver output cells (numpy scalars included) to JSON types."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    for caster in (int, float):
+        try:
+            cast = caster(value)
+        except (TypeError, ValueError):
+            continue
+        if cast == value:
+            return cast
+    return str(value)
+
+
+def result_record(name: str, result, elapsed_s: float) -> dict:
+    """One machine-readable record: name, wall time, key scalars."""
+    record = {
+        "name": name,
+        "experiment": getattr(result, "experiment", name),
+        "wall_seconds": round(elapsed_s, 4),
+    }
+    headers = getattr(result, "headers", None)
+    rows = getattr(result, "rows", None)
+    if headers and rows:
+        record["headers"] = _jsonable(headers)
+        record["rows"] = _jsonable(rows)
+        # key scalars: the first row, labelled by header — enough for
+        # dashboards without shipping the full series payloads
+        record["scalars"] = {
+            str(h): _jsonable(v) for h, v in zip(headers, rows[0])
+        }
+    notes = getattr(result, "notes", "")
+    if notes:
+        record["notes"] = notes
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
+    experiments = _experiments()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
@@ -43,27 +84,37 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help=f"subset to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+        help=f"subset to run (default: all). Known: {', '.join(experiments)}",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (name, wall time, key scalars) "
+        "instead of rendered tables",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in EXPERIMENTS:
+        for name in experiments:
             print(name)
         return 0
 
-    selected = args.experiments or list(EXPERIMENTS)
-    unknown = [name for name in selected if name not in EXPERIMENTS]
+    selected = args.experiments or list(experiments)
+    unknown = [name for name in selected if name not in experiments]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    records = []
     for name in selected:
         t0 = time.perf_counter()
-        result = EXPERIMENTS[name]()
+        result = experiments[name]()
         elapsed = time.perf_counter() - t0
+        if args.json:
+            records.append(result_record(name, result, elapsed))
+            continue
         if name == "fig8":
             # a 180-row power trace is better summarized than dumped
             watts = [w for _, w in result.rows]
@@ -74,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render())
         print(f"[{name}: {elapsed:.2f}s]")
         print()
+    if args.json:
+        print(json.dumps(records, indent=2))
     return 0
 
 

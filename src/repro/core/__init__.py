@@ -19,7 +19,7 @@ Public surface:
   builder (Listing 1).
 """
 
-from repro.core.stream import Stream, StreamEmpty, StreamFull
+from repro.core.stream import FifoStats, Stream, StreamEmpty, StreamFull
 from repro.core.process import Process, ProcessStats
 from repro.core.dataflow import (
     DataflowRegion,
@@ -99,4 +99,5 @@ __all__ = [
     "DepthPoint",
     "SizingResult",
     "advise_stream_depth",
+    "FifoStats",
 ]

@@ -16,9 +16,40 @@ mark, stall tallies) feed the FIFO-depth sizing analysis.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Iterable
 
-__all__ = ["Stream", "StreamClosed", "StreamEmpty", "StreamFull"]
+__all__ = ["FifoStats", "Stream", "StreamClosed", "StreamEmpty", "StreamFull"]
+
+
+@dataclass(frozen=True)
+class FifoStats:
+    """Occupancy accounting snapshot of one bounded FIFO.
+
+    Shared vocabulary between the hardware-level :class:`Stream` and the
+    serving-level job queue (:class:`repro.engine.BoundedJobQueue`), so
+    the same depth-sizing analysis (high-water mark vs capacity, stall
+    tallies) applies at both layers.
+    """
+
+    name: str
+    depth: int
+    occupancy: int
+    total_writes: int
+    total_reads: int
+    write_stalls: int  # producer found the FIFO full
+    read_stalls: int  # consumer found the FIFO empty
+    high_water: int
+
+    @property
+    def headroom(self) -> int:
+        """Capacity never used — a sizing margin candidate."""
+        return self.depth - self.high_water
+
+    @property
+    def utilization(self) -> float:
+        """High-water mark as a fraction of capacity."""
+        return self.high_water / self.depth
 
 
 class StreamFull(RuntimeError):
@@ -81,6 +112,20 @@ class Stream:
     def drained(self) -> bool:
         """True once the producer closed the stream and the FIFO is empty."""
         return self._closed and not self._fifo
+
+    @property
+    def stats(self) -> FifoStats:
+        """Accounting snapshot in the shared :class:`FifoStats` vocabulary."""
+        return FifoStats(
+            name=self.name,
+            depth=self.depth,
+            occupancy=self.occupancy,
+            total_writes=self.total_writes,
+            total_reads=self.total_reads,
+            write_stalls=self.write_stalls,
+            read_stalls=self.read_stalls,
+            high_water=self.high_water,
+        )
 
     # -- non-blocking poll interface (used by the cycle simulation) ---------------
 

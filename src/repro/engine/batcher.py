@@ -1,0 +1,115 @@
+"""Request coalescing: compatible jobs merge into one device batch.
+
+The paper's §III-E weighs N per-work-item buffers (N PCIe round trips)
+against one combined device buffer (a single read request) and picks the
+latter.  The batcher applies the same economics one level up: jobs whose
+:meth:`~repro.engine.jobs.Job.batch_key` match are drained from the
+bounded queue together and dispatched as *one* device transaction — one
+kernel enqueue, one readback — so the per-request fixed costs (kernel
+launch, PCIe latency) amortize across the batch.
+
+An optional *linger* keeps the batcher waiting briefly for more
+compatible work when the queue runs dry, trading a bounded latency add
+for better occupancy — the knob every serving system exposes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.engine.jobs import Job
+from repro.engine.queue import BoundedJobQueue
+
+__all__ = ["Batch", "Batcher"]
+
+_batch_ids = itertools.count(1)
+_batch_ids_lock = threading.Lock()
+
+
+@dataclass
+class Batch:
+    """One coalesced device transaction."""
+
+    jobs: list[Job]
+    batch_id: int = field(
+        default_factory=lambda: _next_batch_id(), init=False
+    )
+
+    def __post_init__(self):
+        if not self.jobs:
+            raise ValueError("a batch needs at least one job")
+
+    @property
+    def key(self) -> Hashable:
+        return self.jobs[0].batch_key()
+
+    @property
+    def size(self) -> int:
+        return len(self.jobs)
+
+    def result_bytes(self) -> int:
+        return sum(job.result_bytes() for job in self.jobs)
+
+
+def _next_batch_id() -> int:
+    with _batch_ids_lock:
+        return next(_batch_ids)
+
+
+class Batcher:
+    """Drains a :class:`BoundedJobQueue` into :class:`Batch` objects.
+
+    Parameters
+    ----------
+    queue:
+        The admission queue to drain.
+    max_batch:
+        Occupancy ceiling per batch; 1 disables coalescing (the serial
+        one-job-per-transaction baseline).
+    linger_s:
+        After a partial drain, wait up to this long for more compatible
+        jobs before dispatching (0 disables lingering).
+    """
+
+    def __init__(
+        self,
+        queue: BoundedJobQueue,
+        max_batch: int = 8,
+        linger_s: float = 0.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be >= 0")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.linger_s = linger_s
+
+    def next_batch(self, timeout: float | None = 0.1) -> Batch | None:
+        """The next coalesced batch, or None when nothing is available.
+
+        Returns None both on a timeout with an empty queue and once the
+        queue is closed and fully drained (the shutdown signal the
+        dispatcher loop watches for).
+        """
+        jobs = self.queue.get_batch(self.max_batch, timeout=timeout)
+        if not jobs:
+            return None
+        if self.linger_s > 0 and len(jobs) < self.max_batch:
+            key = jobs[0].batch_key()
+            deadline = time.monotonic() + self.linger_s
+            while len(jobs) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                more = self.queue.get_matching(
+                    key, self.max_batch - len(jobs), timeout=remaining
+                )
+                if not more:
+                    break
+                jobs.extend(more)
+        return Batch(jobs=jobs)

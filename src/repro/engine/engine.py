@@ -1,0 +1,431 @@
+"""The execution engine: admission → batching → multi-device dispatch.
+
+Wires the pieces into the serving pipeline the ROADMAP's north star
+asks for, shaped exactly like the paper's §III dataflow one level up:
+
+.. code-block:: text
+
+    submit() ──▶ BoundedJobQueue ──▶ Batcher ──▶ WorkerPool ──▶ results
+                 (backpressure,       (§III-E      (N decoupled
+                  hls::stream          combining)   device timelines)
+                  semantics)
+
+* **Admission** is a bounded FIFO: a full queue blocks the submitter
+  (``admission="block"``, the ``hls::stream`` semantics) or sheds it
+  with the typed :class:`~repro.engine.queue.JobQueueFull`
+  (``admission="shed"``, the load-balancer semantics).
+* **Batching** coalesces jobs with equal batch keys into one device
+  transaction, amortizing kernel-launch and PCIe fixed costs.
+* **Dispatch** spreads batches over N device workers under a pluggable
+  scheduling policy; every worker advances its own simulated device
+  timeline, so throughput is measured on modeled hardware time and is
+  deterministic.
+* **Determinism**: every job computes from its own seed, so results are
+  bit-identical regardless of worker count, batch shape or policy —
+  the serving-layer mirror of the decoupled work-items' independence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Sequence
+
+from repro.engine.batcher import Batch, Batcher
+from repro.engine.jobs import Job, JobResult
+from repro.engine.pool import (
+    BatchOutcome,
+    DeviceWorker,
+    SchedulingPolicy,
+    WorkerPool,
+)
+from repro.engine.queue import (
+    BoundedJobQueue,
+    EngineError,
+    JobQueueClosed,
+    JobQueueFull,
+    SubmitTimeout,
+)
+from repro.engine.stats import EngineStats, JobRecord, WorkerStats, summarize
+
+__all__ = ["ExecutionEngine", "JobFailed", "JobHandle", "serial_baseline"]
+
+
+class JobFailed(EngineError):
+    """The job's compute raised; the original exception is ``__cause__``."""
+
+
+class JobHandle:
+    """Future-like handle returned by :meth:`ExecutionEngine.submit`."""
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.submitted_at = time.monotonic()
+        self.picked_up_at: float | None = None
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block for the job's result; re-raises a failure as JobFailed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job.job_id} not done within {timeout}s"
+            )
+        if self._error is not None:
+            if isinstance(self._error, EngineError):
+                raise self._error  # typed engine errors pass through
+            raise JobFailed(
+                f"job {self.job.job_id} failed: {self._error}"
+            ) from self._error
+        assert self._result is not None
+        return self._result
+
+    def _fulfill(self, result: JobResult | None, error: BaseException | None):
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+class ExecutionEngine:
+    """Concurrent multi-device engine with bounded admission and batching.
+
+    Parameters
+    ----------
+    n_workers:
+        Device workers to spawn (ignored when ``workers`` is given).
+    device, config:
+        Device name and Table I configuration of the spawned workers.
+    queue_depth:
+        Bounded admission queue capacity.
+    max_batch:
+        Batch occupancy ceiling; 1 disables coalescing.
+    policy:
+        Scheduling policy: "fifo", "least-loaded" or "device-affinity".
+    admission:
+        "block" (stall the submitter when full) or "shed" (raise
+        :class:`JobQueueFull` immediately).
+    submit_timeout_s:
+        Under "block": raise :class:`SubmitTimeout` after this long.
+    batch_linger_s:
+        Batcher linger window for topping up partial batches.
+    workers:
+        Pre-built heterogeneous workers, overriding ``n_workers``.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        device: str = "FPGA",
+        config: str = "Config1",
+        queue_depth: int = 64,
+        max_batch: int = 8,
+        policy: str | SchedulingPolicy = "fifo",
+        admission: str = "block",
+        submit_timeout_s: float | None = None,
+        batch_linger_s: float = 0.0,
+        workers: Sequence[DeviceWorker] | None = None,
+    ):
+        if admission not in ("block", "shed"):
+            raise ValueError(
+                f"admission must be 'block' or 'shed', got {admission!r}"
+            )
+        if workers is None:
+            if n_workers < 1:
+                raise ValueError("need at least one worker")
+            workers = [
+                DeviceWorker(f"w{i}", device_name=device, config=config)
+                for i in range(n_workers)
+            ]
+        self.admission = admission
+        self.submit_timeout_s = submit_timeout_s
+        self.queue = BoundedJobQueue(depth=queue_depth, name="engine_admission")
+        self.batcher = Batcher(
+            self.queue, max_batch=max_batch, linger_s=batch_linger_s
+        )
+        self.pool = WorkerPool(
+            list(workers), policy=policy, on_batch=self._on_batch
+        )
+        self._handles: dict[int, JobHandle] = {}
+        self._records: list[JobRecord] = []
+        self._state_lock = threading.Lock()
+        self._jobs_shed = 0
+        self._dispatcher: threading.Thread | None = None
+        self._started = False
+        self._shut_down = False
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ExecutionEngine":
+        if self._started:
+            raise RuntimeError("engine already started")
+        self._started = True
+        self._started_at = time.monotonic()
+        self.pool.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-engine-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, job: Job) -> JobHandle:
+        """Admit one job through the bounded queue.
+
+        Raises the typed backpressure errors: :class:`JobQueueFull`
+        (shed), :class:`SubmitTimeout` (blocked too long) or
+        :class:`JobQueueClosed` (after shutdown began).
+        """
+        if not self._started:
+            raise RuntimeError("engine not started (use start() or `with`)")
+        handle = JobHandle(job)
+        with self._state_lock:
+            self._handles[job.job_id] = handle
+        try:
+            self.queue.put(
+                job,
+                block=self.admission == "block",
+                timeout=self.submit_timeout_s,
+            )
+        except EngineError:
+            with self._state_lock:
+                self._handles.pop(job.job_id, None)
+                self._jobs_shed += 1
+            raise
+        return handle
+
+    def run(
+        self, jobs: Iterable[Job], timeout: float | None = 120.0
+    ) -> list[JobResult]:
+        """Submit every job (blocking admission) and wait for all results."""
+        handles = [self.submit(job) for job in jobs]
+        return [h.result(timeout) for h in handles]
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def drain(self, timeout: float | None = 60.0) -> bool:
+        """Wait until everything admitted so far has completed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self.queue):
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.002)
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        return self.pool.wait_idle(remaining)
+
+    def shutdown(self, drain: bool = True, timeout: float | None = 60.0) -> None:
+        """Stop admitting; optionally drain pending work, then stop workers.
+
+        With ``drain=True`` (graceful) every admitted job completes and
+        its handle resolves.  With ``drain=False`` pending jobs are
+        abandoned: their handles fail with :class:`JobQueueClosed`.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.queue.close()
+        if not self._started:
+            return
+        if drain:
+            self.drain(timeout)
+        else:
+            while True:
+                abandoned = self.queue.get_batch(max_size=1 << 30, timeout=0.0)
+                if not abandoned:
+                    break
+                for job in abandoned:
+                    with self._state_lock:
+                        handle = self._handles.pop(job.job_id, None)
+                    if handle is not None:
+                        handle._fulfill(
+                            None,
+                            JobQueueClosed(
+                                f"job {job.job_id} abandoned by "
+                                "shutdown(drain=False)"
+                            ),
+                        )
+            self.pool.wait_idle(timeout)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        self.pool.stop(timeout)
+        self._stopped_at = time.monotonic()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.05)
+            if batch is None:
+                if self.queue.closed and not len(self.queue):
+                    return
+                continue
+            now = time.monotonic()
+            with self._state_lock:
+                for job in batch.jobs:
+                    handle = self._handles.get(job.job_id)
+                    if handle is not None:
+                        handle.picked_up_at = now
+            self.pool.dispatch(batch)
+
+    def _on_batch(self, outcome: BatchOutcome) -> None:
+        now = time.monotonic()
+        fixed_overhead = outcome.batch_device_seconds - sum(
+            outcome.device_seconds
+        )
+        overhead_share = max(0.0, fixed_overhead) / outcome.batch.size
+        for job, payload, error, dev_s in zip(
+            outcome.batch.jobs,
+            outcome.payloads,
+            outcome.errors,
+            outcome.device_seconds,
+        ):
+            with self._state_lock:
+                handle = self._handles.pop(job.job_id, None)
+            if handle is None:
+                continue
+            queue_wait = (
+                (handle.picked_up_at or now) - handle.submitted_at
+            )
+            result = JobResult(
+                job_id=job.job_id,
+                payload=payload,
+                worker=outcome.worker,
+                batch_id=outcome.batch.batch_id,
+                batch_size=outcome.batch.size,
+                queue_wait_s=queue_wait,
+                service_s=outcome.service_wall_s,
+                total_s=now - handle.submitted_at,
+                device_seconds=dev_s + overhead_share,
+            )
+            with self._state_lock:
+                self._records.append(
+                    JobRecord(
+                        job_id=job.job_id,
+                        worker=outcome.worker,
+                        batch_id=outcome.batch.batch_id,
+                        batch_size=outcome.batch.size,
+                        queue_wait_s=queue_wait,
+                        service_s=outcome.service_wall_s,
+                        total_s=result.total_s,
+                        device_seconds=result.device_seconds,
+                    )
+                )
+            handle._fulfill(None if error is not None else result, error)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Aggregate report over everything completed so far."""
+        with self._state_lock:
+            records = list(self._records)
+            shed = self._jobs_shed
+        batch_sizes: dict[int, int] = {}
+        for r in records:
+            batch_sizes[r.batch_id] = r.batch_size
+        end = self._stopped_at or time.monotonic()
+        wall = end - self._started_at if self._started_at else 0.0
+        workers = [
+            WorkerStats(
+                name=w.name,
+                device=w.device_name,
+                jobs=w.jobs_done,
+                batches=w.batches_done,
+                device_busy_s=w.device_busy_s,
+            )
+            for w in self.pool.workers
+        ]
+        busy = [w.device_busy_s for w in workers]
+        return EngineStats(
+            jobs_completed=len(records),
+            jobs_shed=shed,
+            batches=len(batch_sizes),
+            mean_batch_occupancy=(
+                len(records) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+            max_batch_occupancy=max(batch_sizes.values(), default=0),
+            queue_wait_s=summarize([r.queue_wait_s for r in records]),
+            service_s=summarize([r.service_s for r in records]),
+            total_s=summarize([r.total_s for r in records]),
+            wall_seconds=wall,
+            modeled_makespan_s=max(busy, default=0.0),
+            modeled_device_seconds=sum(busy),
+            queue=self.queue.stats,
+            workers=workers,
+            records=records,
+        )
+
+
+def serial_baseline(
+    jobs: Sequence[Job],
+    device: str = "FPGA",
+    config: str = "Config1",
+) -> EngineStats:
+    """One-job-at-a-time execution on a single device, no batching.
+
+    The pre-engine host behaviour (build a session, run one enqueue to
+    completion, repeat) against which the engine's batching +
+    multi-device throughput is measured, on the same modeled timeline.
+    """
+    worker = DeviceWorker("serial", device_name=device, config=config)
+    records: list[JobRecord] = []
+    t0 = time.monotonic()
+    for job in jobs:
+        submit = time.monotonic()
+        outcome = worker.execute(Batch(jobs=[job]))
+        if outcome.errors[0] is not None:
+            raise JobFailed(
+                f"job {job.job_id} failed: {outcome.errors[0]}"
+            ) from outcome.errors[0]
+        records.append(
+            JobRecord(
+                job_id=job.job_id,
+                worker=worker.name,
+                batch_id=outcome.batch.batch_id,
+                batch_size=1,
+                queue_wait_s=0.0,
+                service_s=outcome.service_wall_s,
+                total_s=time.monotonic() - submit,
+                device_seconds=outcome.batch_device_seconds,
+            )
+        )
+    busy = worker.device_busy_s
+    return EngineStats(
+        jobs_completed=len(records),
+        jobs_shed=0,
+        batches=len(records),
+        mean_batch_occupancy=1.0 if records else 0.0,
+        max_batch_occupancy=1 if records else 0,
+        queue_wait_s=summarize([0.0] * len(records)),
+        service_s=summarize([r.service_s for r in records]),
+        total_s=summarize([r.total_s for r in records]),
+        wall_seconds=time.monotonic() - t0,
+        modeled_makespan_s=busy,
+        modeled_device_seconds=busy,
+        queue=BoundedJobQueue(depth=1, name="serial_noqueue").stats,
+        workers=[
+            WorkerStats(
+                name=worker.name,
+                device=worker.device_name,
+                jobs=worker.jobs_done,
+                batches=worker.batches_done,
+                device_busy_s=busy,
+            )
+        ],
+        records=records,
+    )

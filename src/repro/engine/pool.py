@@ -1,0 +1,375 @@
+"""Device worker pool: N simulated accelerators behind one dispatcher.
+
+Each :class:`DeviceWorker` wraps one :class:`repro.harness.KernelSession`
+— its own OpenCL context, in-order command queue and device timing model
+(:class:`~repro.devices.FpgaModel` for FPGA workers,
+:class:`~repro.devices.FixedArchitectureModel` for CPU/GPU/PHI) — and
+runs on its own host thread, exactly the decoupled-work-item picture
+lifted one level: independent engines fed from bounded FIFOs, stalling
+when starved, never interfering with each other's state.
+
+A batch executes as one device transaction on the worker's simulated
+timeline: a single kernel enqueue covering every job in the batch
+followed by a single combined readback (§III-E device-level combining),
+so the per-transaction fixed costs — kernel launch, PCIe round-trip
+latency — amortize across the batch occupancy.
+
+The dispatcher chooses the worker per batch through a pluggable
+:class:`SchedulingPolicy`:
+
+* ``fifo`` — batches land in a shared run queue; the first worker to go
+  idle takes the oldest batch (work-conserving, no placement smarts);
+* ``least-loaded`` — the batch goes to the worker whose modeled device
+  timeline has the smallest backlog;
+* ``device-affinity`` — the batch key hashes to a fixed worker, keeping
+  a configuration's jobs on one device (warm state, stable batching).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.devices import FixedArchitectureModel, FpgaModel
+from repro.engine.batcher import Batch
+from repro.engine.jobs import Job
+from repro.harness.configs import CONFIGURATIONS, Configuration
+from repro.harness.session import KernelSession
+from repro.opencl import KernelHandle, MemFlag
+
+__all__ = [
+    "BatchOutcome",
+    "DeviceWorker",
+    "SchedulingPolicy",
+    "WorkerPool",
+    "make_policy",
+]
+
+
+@dataclass
+class BatchOutcome:
+    """What one batch execution produced, per job plus batch totals."""
+
+    batch: Batch
+    worker: str
+    payloads: list[Any]  # aligned with batch.jobs
+    errors: list[BaseException | None]  # aligned with batch.jobs
+    device_seconds: list[float]  # modeled per-job kernel time
+    batch_device_seconds: float  # modeled timeline advance of the batch
+    service_wall_s: float  # host wall time inside the worker
+
+
+class DeviceWorker:
+    """One simulated accelerator plus the thread that drives it."""
+
+    def __init__(
+        self,
+        name: str,
+        device_name: str = "FPGA",
+        config: str | Configuration = "Config1",
+    ):
+        self.name = name
+        self.device_name = device_name
+        self.configuration = (
+            CONFIGURATIONS[config] if isinstance(config, str) else config
+        )
+        self.session = KernelSession(device_name, self.configuration)
+        if device_name == "FPGA":
+            self.model: FpgaModel | FixedArchitectureModel = FpgaModel(
+                n_work_items=self.configuration.fpga_work_items
+            )
+        else:
+            self.model = FixedArchitectureModel(
+                self.session.context.platform.device(device_name)
+            )
+        self.jobs_done = 0
+        self.batches_done = 0
+        self._timeline_lock = threading.Lock()
+
+    # -- modeled timeline --------------------------------------------------------
+
+    @property
+    def device_busy_s(self) -> float:
+        """Simulated device-timeline occupancy so far."""
+        with self._timeline_lock:
+            return self.session.queue.now
+
+    def estimate_batch_seconds(self, batch: Batch) -> float:
+        """Modeled cost of a batch on *this* worker (dispatch heuristic)."""
+        return sum(job.device_seconds(self.model) for job in batch.jobs)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, batch: Batch) -> BatchOutcome:
+        """Run one batch: compute payloads, advance the device timeline."""
+        wall0 = time.monotonic()
+        payloads: list[Any] = []
+        errors: list[BaseException | None] = []
+        device_seconds: list[float] = []
+        for job in batch.jobs:
+            try:
+                payloads.append(job.compute())
+                device_seconds.append(job.device_seconds(self.model))
+                errors.append(None)
+            except Exception as exc:  # job-level fault isolation
+                payloads.append(None)
+                device_seconds.append(0.0)
+                errors.append(exc)
+        kernel_s = sum(device_seconds)
+        with self._timeline_lock:
+            queue = self.session.queue
+            t0 = queue.now
+            kernel = KernelHandle(
+                name=f"batch{batch.batch_id}_{self.configuration.name}",
+                body=None,
+                time_model=lambda device, ndrange, **args: kernel_s,
+            )
+            queue.enqueue_task(kernel)
+            nbytes = max(4, -(-batch.result_bytes() // 4) * 4)
+            buffer = self.session.context.create_buffer(
+                f"batch{batch.batch_id}_result", nbytes, MemFlag.WRITE_ONLY
+            )
+            queue.enqueue_read_buffer(buffer)
+            batch_device_s = queue.finish() - t0
+        self.jobs_done += batch.size
+        self.batches_done += 1
+        return BatchOutcome(
+            batch=batch,
+            worker=self.name,
+            payloads=payloads,
+            errors=errors,
+            device_seconds=device_seconds,
+            batch_device_seconds=batch_device_s,
+            service_wall_s=time.monotonic() - wall0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# scheduling policies
+# ---------------------------------------------------------------------------
+
+
+class SchedulingPolicy:
+    """Chooses the worker for a batch; None means the shared FIFO."""
+
+    name = "base"
+
+    def select(
+        self,
+        batch: Batch,
+        workers: list[DeviceWorker],
+        pending_seconds: dict[str, float],
+    ) -> DeviceWorker | None:
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Shared run queue: the first idle worker takes the oldest batch."""
+
+    name = "fifo"
+
+    def select(self, batch, workers, pending_seconds):
+        return None
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Send the batch to the smallest modeled backlog."""
+
+    name = "least-loaded"
+
+    def select(self, batch, workers, pending_seconds):
+        return min(
+            workers,
+            key=lambda w: w.device_busy_s + pending_seconds[w.name],
+        )
+
+
+class DeviceAffinityPolicy(SchedulingPolicy):
+    """Pin each batch key to one worker via a stable hash."""
+
+    name = "device-affinity"
+
+    def select(self, batch, workers, pending_seconds):
+        digest = zlib.crc32(repr(batch.key).encode())
+        return workers[digest % len(workers)]
+
+
+_POLICIES = {
+    p.name: p for p in (FifoPolicy, LeastLoadedPolicy, DeviceAffinityPolicy)
+}
+
+
+def make_policy(policy: str | SchedulingPolicy) -> SchedulingPolicy:
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; "
+            f"known: {sorted(_POLICIES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# the pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Worker threads pulling batches from per-worker and shared inboxes.
+
+    Parameters
+    ----------
+    workers:
+        The device workers (>= 1).
+    policy:
+        Scheduling policy name or instance.
+    on_batch:
+        Callback invoked (from the worker thread) with each
+        :class:`BatchOutcome`.
+    max_inflight:
+        Cap on dispatched-but-unfinished batches; :meth:`dispatch`
+        blocks at the cap, propagating backpressure to the admission
+        queue instead of buffering unboundedly (default: 2 per worker).
+    """
+
+    def __init__(
+        self,
+        workers: list[DeviceWorker],
+        policy: str | SchedulingPolicy = "fifo",
+        on_batch: Callable[[BatchOutcome], None] | None = None,
+        max_inflight: int | None = None,
+    ):
+        if not workers:
+            raise ValueError("pool needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"worker names must be unique, got {names}")
+        self.workers = workers
+        self.policy = make_policy(policy)
+        self.on_batch = on_batch
+        self.max_inflight = (
+            2 * len(workers) if max_inflight is None else max_inflight
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._shared: deque[Batch] = deque()
+        self._private: dict[str, deque[Batch]] = {w.name: deque() for w in workers}
+        self._pending_seconds: dict[str, float] = {w.name: 0.0 for w in workers}
+        # batch_id -> (worker name, estimate) for batches counted in
+        # _pending_seconds; the estimate is released at batch completion
+        # (not pickup), so in-execution work stays visible to the
+        # least-loaded policy
+        self._counted: dict[int, tuple[str, float]] = {}
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("pool already started")
+        for worker in self.workers:
+            t = threading.Thread(
+                target=self._run_worker,
+                args=(worker,),
+                name=f"repro-engine-{worker.name}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+
+    def dispatch(self, batch: Batch) -> None:
+        """Hand a batch to the policy-selected inbox.
+
+        Blocks while ``max_inflight`` batches are outstanding — the
+        pool-side half of the backpressure chain (worker slots fill →
+        dispatch stalls → admission queue fills → submitters stall or
+        shed).
+        """
+        with self._lock:
+            while self._inflight >= self.max_inflight and not self._stopping:
+                self._idle.wait(0.5)
+            target = self.policy.select(
+                batch, self.workers, dict(self._pending_seconds)
+            )
+            if target is None:
+                self._shared.append(batch)
+            else:
+                self._private[target.name].append(batch)
+                estimate = target.estimate_batch_seconds(batch)
+                self._pending_seconds[target.name] += estimate
+                self._counted[batch.batch_id] = (target.name, estimate)
+            self._inflight += 1
+            self._work_ready.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every dispatched batch completed (graceful drain)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the worker threads (pending batches still drain first)."""
+        with self._lock:
+            self._stopping = True
+            self._work_ready.notify_all()
+        for t in self._threads:
+            t.join(timeout)
+
+    # -- worker loop -------------------------------------------------------------
+
+    def _take(self, worker: DeviceWorker) -> Batch | None:
+        """Next batch for this worker: private inbox first, then shared."""
+        with self._work_ready:
+            while True:
+                private = self._private[worker.name]
+                if private:
+                    return private.popleft()
+                if self._shared:
+                    return self._shared.popleft()
+                if self._stopping:
+                    return None
+                self._work_ready.wait(0.5)
+
+    def _run_worker(self, worker: DeviceWorker) -> None:
+        while True:
+            batch = self._take(worker)
+            if batch is None:
+                return
+            try:
+                outcome = worker.execute(batch)
+            except Exception as exc:  # worker-level fault: fail the batch
+                outcome = BatchOutcome(
+                    batch=batch,
+                    worker=worker.name,
+                    payloads=[None] * batch.size,
+                    errors=[exc] * batch.size,
+                    device_seconds=[0.0] * batch.size,
+                    batch_device_seconds=0.0,
+                    service_wall_s=0.0,
+                )
+            if self.on_batch is not None:
+                self.on_batch(outcome)
+            with self._idle:
+                counted = self._counted.pop(batch.batch_id, None)
+                if counted is not None:
+                    name, estimate = counted
+                    self._pending_seconds[name] -= estimate
+                self._inflight -= 1
+                self._idle.notify_all()

@@ -1,0 +1,244 @@
+"""Bounded job queue with backpressure — ``hls::stream`` at the serving layer.
+
+Section III-A introduces blocking bounded FIFOs between decoupled
+pipeline stages: a full stream back-pressures the producer, an empty one
+stalls the consumer.  The engine admits jobs through the same contract.
+A full queue either *blocks* the submitting thread (the hardware
+semantics) or *sheds* it with the typed :class:`JobQueueFull` error (the
+serving-layer policy a load balancer needs), and the accounting — high
+water, stall tallies — lands in the same :class:`repro.core.FifoStats`
+dataclass the hardware streams report, so FIFO depth sizing analysis
+works identically at both layers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Hashable
+
+from repro.core.stream import FifoStats
+from repro.engine.jobs import Job
+
+__all__ = [
+    "BoundedJobQueue",
+    "EngineError",
+    "JobQueueClosed",
+    "JobQueueFull",
+    "SubmitTimeout",
+]
+
+
+class EngineError(RuntimeError):
+    """Base class of all typed engine errors."""
+
+
+class JobQueueFull(EngineError):
+    """Admission shed: the bounded queue was full under the shed policy."""
+
+
+class JobQueueClosed(EngineError):
+    """Submit after shutdown began (the queue no longer admits work)."""
+
+
+class SubmitTimeout(EngineError):
+    """Blocking admission exceeded its timeout while the queue was full."""
+
+
+class BoundedJobQueue:
+    """Thread-safe bounded FIFO of :class:`Job` entries.
+
+    Parameters
+    ----------
+    depth:
+        Capacity; submissions beyond it experience backpressure.
+    name:
+        Identifier in stats and error messages.
+    """
+
+    def __init__(self, depth: int = 64, name: str = "job_queue"):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._fifo: deque[Job] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        # accounting (FifoStats vocabulary)
+        self.total_writes = 0
+        self.total_reads = 0
+        self.write_stalls = 0
+        self.read_stalls = 0
+        self.high_water = 0
+
+    # -- state ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._fifo)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def stats(self) -> FifoStats:
+        """Snapshot in the shared FIFO-accounting vocabulary."""
+        with self._lock:
+            return FifoStats(
+                name=self.name,
+                depth=self.depth,
+                occupancy=len(self._fifo),
+                total_writes=self.total_writes,
+                total_reads=self.total_reads,
+                write_stalls=self.write_stalls,
+                read_stalls=self.read_stalls,
+                high_water=self.high_water,
+            )
+
+    # -- producer side ----------------------------------------------------------
+
+    def put(
+        self,
+        job: Job,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Admit one job.
+
+        With ``block=True`` a full queue stalls the caller until space
+        frees (raising :class:`SubmitTimeout` after ``timeout`` seconds);
+        with ``block=False`` it sheds immediately with
+        :class:`JobQueueFull`.  Either way the stall is tallied — that is
+        the backpressure signal queue-depth sizing reads.
+        """
+        with self._not_full:
+            if self._closed:
+                raise JobQueueClosed(f"queue {self.name!r} is closed")
+            if len(self._fifo) >= self.depth:
+                self.write_stalls += 1
+                if not block:
+                    raise JobQueueFull(
+                        f"queue {self.name!r} full (depth={self.depth}); "
+                        "admission shed"
+                    )
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while len(self._fifo) >= self.depth and not self._closed:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise SubmitTimeout(
+                            f"queue {self.name!r} stayed full for "
+                            f"{timeout:.3f}s"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise JobQueueClosed(f"queue {self.name!r} is closed")
+            self._fifo.append(job)
+            self.total_writes += 1
+            if len(self._fifo) > self.high_water:
+                self.high_water = len(self._fifo)
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Stop admitting; pending jobs remain readable (graceful drain)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side ----------------------------------------------------------
+
+    def get_batch(
+        self,
+        max_size: int = 1,
+        timeout: float | None = None,
+    ) -> list[Job]:
+        """Pop a batch of *compatible* jobs (equal :meth:`Job.batch_key`).
+
+        Takes the head job, then coalesces up to ``max_size - 1`` more
+        jobs with the same key, scanning in FIFO order — the serving
+        analogue of §III-E device-level buffer combining: compatible
+        requests merge into one device transaction.  Jobs with other
+        keys keep their relative order.
+
+        Returns ``[]`` once the queue is closed and drained, or when
+        ``timeout`` elapses with nothing available (an empty poll is
+        tallied as a read stall, mirroring ``Stream.can_read``).
+        """
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        with self._not_empty:
+            if not self._fifo:
+                if self._closed:
+                    return []
+                self.read_stalls += 1
+                self._not_empty.wait(timeout)
+                if not self._fifo:
+                    return []
+            head = self._fifo.popleft()
+            batch = [head]
+            if max_size > 1:
+                key: Hashable = head.batch_key()
+                keep: deque[Job] = deque()
+                while self._fifo and len(batch) < max_size:
+                    job = self._fifo.popleft()
+                    if job.batch_key() == key:
+                        batch.append(job)
+                    else:
+                        keep.append(job)
+                keep.extend(self._fifo)
+                self._fifo = keep
+            self.total_reads += len(batch)
+            self._not_full.notify_all()
+            return batch
+
+    def get_matching(
+        self,
+        key: Hashable,
+        max_size: int,
+        timeout: float | None = None,
+    ) -> list[Job]:
+        """Pop up to ``max_size`` jobs whose batch key equals ``key``.
+
+        Unlike :meth:`get_batch` this never disturbs non-matching jobs
+        (the head included) — it is the linger path: top up an open
+        batch with late-arriving compatible work.  Returns ``[]`` when
+        nothing compatible shows up within ``timeout``.
+        """
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        with self._not_empty:
+            matched = self._take_matching(key, max_size)
+            if not matched and not self._closed:
+                self.read_stalls += 1
+                self._not_empty.wait(timeout)
+                matched = self._take_matching(key, max_size)
+            if matched:
+                self.total_reads += len(matched)
+                self._not_full.notify_all()
+            return matched
+
+    def _take_matching(self, key: Hashable, max_size: int) -> list[Job]:
+        matched: list[Job] = []
+        keep: deque[Job] = deque()
+        while self._fifo and len(matched) < max_size:
+            job = self._fifo.popleft()
+            if job.batch_key() == key:
+                matched.append(job)
+            else:
+                keep.append(job)
+        keep.extend(self._fifo)
+        self._fifo = keep
+        return matched

@@ -1,0 +1,122 @@
+"""Engine accounting: per-job latency records and the aggregate report.
+
+Every completed job contributes one :class:`JobRecord` (queue wait,
+service, total latency, batch occupancy, worker, modeled device time);
+:class:`EngineStats` aggregates them together with the bounded queue's
+:class:`repro.core.FifoStats` snapshot and each worker's simulated
+device timeline.  Throughput comes in two flavours:
+
+* **wall throughput** — jobs per real second, what a load generator
+  observes;
+* **modeled throughput** — jobs per simulated device-second of the
+  busiest worker (the makespan on the modeled hardware), which is what
+  the paper's timing models predict and what the benchmark asserts on
+  (deterministic, immune to host scheduling noise).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.stream import FifoStats
+
+__all__ = ["JobRecord", "WorkerStats", "EngineStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Latency/accounting record of one completed job."""
+
+    job_id: int
+    worker: str
+    batch_id: int
+    batch_size: int
+    queue_wait_s: float
+    service_s: float
+    total_s: float
+    device_seconds: float
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One device worker's share of the run."""
+
+    name: str
+    device: str
+    jobs: int
+    batches: int
+    device_busy_s: float  # simulated device-timeline occupancy
+
+
+@dataclass
+class EngineStats:
+    """Aggregate report of one engine run."""
+
+    jobs_completed: int
+    jobs_shed: int
+    batches: int
+    mean_batch_occupancy: float
+    max_batch_occupancy: int
+    queue_wait_s: dict[str, float]  # mean/p50/p95/max over jobs
+    service_s: dict[str, float]
+    total_s: dict[str, float]
+    wall_seconds: float
+    modeled_makespan_s: float  # busiest worker's simulated timeline
+    modeled_device_seconds: float  # summed over all workers
+    queue: FifoStats
+    workers: list[WorkerStats] = field(default_factory=list)
+    records: list[JobRecord] = field(default_factory=list)
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def wall_throughput_jps(self) -> float:
+        """Jobs per real second."""
+        return self.jobs_completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def modeled_throughput_jps(self) -> float:
+        """Jobs per simulated device-second of makespan (deterministic)."""
+        if not self.modeled_makespan_s:
+            return 0.0
+        return self.jobs_completed / self.modeled_makespan_s
+
+    def render(self) -> str:
+        lines = [
+            f"jobs: {self.jobs_completed} completed, {self.jobs_shed} shed, "
+            f"{self.batches} batches "
+            f"(occupancy mean {self.mean_batch_occupancy:.2f}, "
+            f"max {self.max_batch_occupancy})",
+            f"queue: depth {self.queue.depth}, "
+            f"high-water {self.queue.high_water}, "
+            f"submit stalls {self.queue.write_stalls}, "
+            f"empty polls {self.queue.read_stalls}",
+            f"latency [ms]: wait {1e3 * self.queue_wait_s['mean']:.2f} "
+            f"(p95 {1e3 * self.queue_wait_s['p95']:.2f}), "
+            f"service {1e3 * self.service_s['mean']:.2f}, "
+            f"total {1e3 * self.total_s['mean']:.2f}",
+            f"modeled: makespan {1e3 * self.modeled_makespan_s:.2f} ms, "
+            f"throughput {self.modeled_throughput_jps:.1f} jobs/s",
+        ]
+        for w in self.workers:
+            lines.append(
+                f"  worker {w.name} [{w.device}]: {w.jobs} jobs in "
+                f"{w.batches} batches, device busy "
+                f"{1e3 * w.device_busy_s:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def summarize(values: list[float]) -> dict[str, float]:
+    """mean/p50/p95/max summary of a latency series (empty-safe)."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    p95_idx = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return {
+        "mean": statistics.fmean(ordered),
+        "p50": ordered[len(ordered) // 2],
+        "p95": ordered[p95_idx],
+        "max": ordered[-1],
+    }

@@ -6,6 +6,7 @@
 * :mod:`repro.harness.reporting` — plain-text tables and series.
 """
 
+from repro.harness import registry
 from repro.harness.configs import CONFIGURATIONS, Configuration
 from repro.harness.reporting import format_series, format_table
 from repro.harness.session import KernelSession, SessionResult
@@ -27,7 +28,17 @@ from repro.harness.experiments import (
     run_table3,
 )
 
+# drivers living outside the harness register lazily so importing the
+# harness never pulls them in (the engine imports the harness, not vice
+# versa); the registry resolves the spec on first use
+registry.register_lazy(
+    "serve-bench",
+    "repro.engine.bench:run_serve_bench",
+    "execution-engine throughput vs serial execution",
+)
+
 __all__ = [
+    "registry",
     "Configuration",
     "CONFIGURATIONS",
     "format_table",

@@ -34,6 +34,7 @@ from repro.devices import (
     measured_path_rates,
 )
 from repro.harness.configs import CONFIGURATIONS
+from repro.harness.registry import register
 from repro.harness.reporting import format_series, format_table
 from repro.opencl import (
     Context,
@@ -144,6 +145,7 @@ def model_runtime_ms(setup_key: str) -> float:
 # ---------------------------------------------------------------------------
 
 
+@register("fig2", "lockstep vs decoupled execution (Fig 2)")
 def run_fig2(
     width: int = 8, quota: int = 4, variance: float | None = None
 ) -> ExperimentResult:
@@ -181,6 +183,7 @@ def run_fig2(
 # ---------------------------------------------------------------------------
 
 
+@register("variance", "rejection/runtime vs sector variance")
 def run_variance_sweep(
     variances: tuple[float, ...] = (0.1, 0.35, 1.39, 10.0, 100.0)
 ) -> ExperimentResult:
@@ -224,6 +227,7 @@ def run_variance_sweep(
 # ---------------------------------------------------------------------------
 
 
+@register("fig3", "work-item C/T schedule (Fig 3)")
 def run_fig3(
     n_work_items: int = 4, limit_main: int = 128, burst_words: int = 1
 ) -> ExperimentResult:
@@ -265,6 +269,7 @@ def run_fig3(
 # ---------------------------------------------------------------------------
 
 
+@register("table1", "application configurations (Table I)")
 def run_table1() -> ExperimentResult:
     """Regenerate Table I from the configuration registry."""
     rows = []
@@ -290,6 +295,7 @@ def run_table1() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register("table2", "FPGA resource utilization (Table II)")
 def run_table2() -> ExperimentResult:
     """Regenerate Table II from the resource model, with paper deltas."""
     model = ResourceModel()
@@ -337,6 +343,7 @@ TABLE3_ROWS = [
 ]
 
 
+@register("table3", "runtimes on all platforms (Table III)")
 def run_table3() -> ExperimentResult:
     """Regenerate Table III: runtime [ms] for the given setup."""
     rows = []
@@ -368,6 +375,7 @@ def run_table3() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register("fig5a", "runtime vs localSize (Fig 5a)")
 def run_fig5a(
     config_name: str = "Config1",
     local_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
@@ -406,6 +414,7 @@ def run_fig5a(
     )
 
 
+@register("fig5b", "runtime vs globalSize (Fig 5b)")
 def run_fig5b(
     config_name: str = "Config1",
     global_sizes: tuple[int, ...] = (1024, 4096, 16384, 65536, 262144),
@@ -444,6 +453,7 @@ def run_fig5b(
 # ---------------------------------------------------------------------------
 
 
+@register("fig6", "gamma distribution validation (Fig 6)")
 def run_fig6(
     variances: tuple[float, ...] = (0.35, 1.39),
     samples_per_variance: int = 4096,
@@ -497,6 +507,7 @@ def run_fig6(
 # ---------------------------------------------------------------------------
 
 
+@register("fig7", "transfers-only runtime (Fig 7)")
 def run_fig7(
     burst_rns: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
     work_items: tuple[int, ...] = (1, 2, 4, 6, 8),
@@ -558,6 +569,7 @@ def run_fig7(
 # ---------------------------------------------------------------------------
 
 
+@register("fig8", "wall-plug power trace (Fig 8)")
 def run_fig8(config_name: str = "Config1", device: str = "FPGA") -> ExperimentResult:
     """Fig 8: the wall-plug power trace of one measurement run."""
     runtime_s = _fpga_runtime_ms(config_name) / 1e3 if device == "FPGA" else (
@@ -587,6 +599,7 @@ def run_fig8(config_name: str = "Config1", device: str = "FPGA") -> ExperimentRe
     )
 
 
+@register("fig9", "dynamic energy per invocation (Fig 9)")
 def run_fig9() -> ExperimentResult:
     """Fig 9: dynamic energy per kernel invocation, all setups."""
     meter = VirtualMultimeter(PowerModel())
@@ -630,6 +643,7 @@ def run_fig9() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register("eq1", "Eq (1) theoretical runtime")
 def run_eq1() -> ExperimentResult:
     """Eq (1) theoretical runtime vs the full model vs the paper."""
     rows = []
@@ -668,6 +682,7 @@ def run_eq1() -> ExperimentResult:
     )
 
 
+@register("rejection", "rejection rates vs variance (SIV-E)")
 def run_rejection_rates(
     variances: tuple[float, ...] = (0.1, 1.39, 100.0)
 ) -> ExperimentResult:
@@ -692,6 +707,7 @@ def run_rejection_rates(
     )
 
 
+@register("buffers", "host vs device buffer combining (SIII-E)")
 def run_buffer_combining(
     n_work_items: int = 6, block: int = 65536
 ) -> ExperimentResult:

@@ -1,0 +1,88 @@
+"""Experiment registry: the single source of the CLI's driver table.
+
+Drivers register here — eagerly via the :func:`register` decorator
+(the in-package experiment drivers) or lazily via
+:func:`register_lazy` with an ``"import.path:callable"`` spec (drivers
+living in packages the harness must not import at module load, e.g. the
+engine's `serve-bench`).  ``python -m repro`` derives its experiment
+table from this registry, so a new driver registers in exactly one
+place and shows up in ``--list``, the CLI and the JSON output without
+touching the entry point.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ExperimentEntry",
+    "register",
+    "register_lazy",
+    "experiment_names",
+    "get_runner",
+    "runners",
+]
+
+
+@dataclass
+class ExperimentEntry:
+    """One registered driver."""
+
+    name: str
+    runner: Callable | None  # None until a lazy spec resolves
+    spec: str | None = None  # "module.path:callable" for lazy entries
+    summary: str = ""
+
+    def resolve(self) -> Callable:
+        if self.runner is None:
+            module_name, _, attr = self.spec.partition(":")
+            module = importlib.import_module(module_name)
+            self.runner = getattr(module, attr)
+        return self.runner
+
+
+_REGISTRY: dict[str, ExperimentEntry] = {}
+
+
+def register(name: str, summary: str = "") -> Callable:
+    """Decorator: register a driver callable under ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        _add(ExperimentEntry(name=name, runner=fn, summary=summary))
+        return fn
+
+    return deco
+
+
+def register_lazy(name: str, spec: str, summary: str = "") -> None:
+    """Register ``"module.path:callable"`` resolved on first use."""
+    if ":" not in spec:
+        raise ValueError(f"lazy spec must be 'module:callable', got {spec!r}")
+    _add(ExperimentEntry(name=name, runner=None, spec=spec, summary=summary))
+
+
+def _add(entry: ExperimentEntry) -> None:
+    if entry.name in _REGISTRY:
+        raise ValueError(f"experiment {entry.name!r} registered twice")
+    _REGISTRY[entry.name] = entry
+
+
+def experiment_names() -> list[str]:
+    """Registration-ordered driver names."""
+    return list(_REGISTRY)
+
+
+def get_runner(name: str) -> Callable:
+    try:
+        return _REGISTRY[name].resolve()
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def runners() -> dict[str, Callable]:
+    """name → runner for every registered driver (resolving lazy ones)."""
+    return {name: entry.resolve() for name, entry in _REGISTRY.items()}

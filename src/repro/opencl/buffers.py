@@ -64,9 +64,15 @@ def _check_inputs(per_item_outputs: list[np.ndarray]) -> int:
     if len(lengths) != 1:
         raise ValueError(
             "all work-items must produce equally sized blocks "
-            "(fixed blockOffset layout)"
+            "(fixed blockOffset layout); N must divide the total length L"
         )
-    return lengths.pop()
+    block = lengths.pop()
+    if block == 0:
+        raise ValueError(
+            "zero-length work-item blocks cannot be combined: the kernel "
+            "always emits limitMain outputs per work-item (Listing 2)"
+        )
+    return block
 
 
 def combine_at_host_level(

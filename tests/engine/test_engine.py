@@ -1,0 +1,226 @@
+"""End-to-end engine behaviour: determinism, backpressure, drain."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExecutionEngine,
+    GammaJob,
+    JobFailed,
+    JobQueueClosed,
+    JobQueueFull,
+    PortfolioJob,
+    serial_baseline,
+)
+from repro.finance import Obligor, Portfolio, Sector
+
+
+def _jobs(n=12, samples=256, base_seed=500):
+    return [
+        GammaJob(
+            n_samples=samples,
+            seed=base_seed + i,
+            variance=(1.39, 0.35)[i % 2],
+        )
+        for i in range(n)
+    ]
+
+
+class SlowJob(GammaJob):
+    """A job whose compute really blocks the worker (backpressure tests)."""
+
+    delay_s = 0.08
+
+    def compute(self):
+        time.sleep(self.delay_s)
+        return super().compute()
+
+
+def _payloads_by_seed(results, jobs):
+    by_id = {r.job_id: r.payload for r in results}
+    return {job.seed: by_id[job.job_id] for job in jobs}
+
+
+class TestDeterminism:
+    def test_results_identical_across_worker_counts(self):
+        baselines = None
+        for n_workers in (1, 3):
+            jobs = _jobs()
+            with ExecutionEngine(n_workers=n_workers, max_batch=4) as eng:
+                results = eng.run(jobs)
+            payloads = _payloads_by_seed(results, jobs)
+            if baselines is None:
+                baselines = payloads
+            else:
+                assert baselines.keys() == payloads.keys()
+                for seed, payload in payloads.items():
+                    np.testing.assert_array_equal(baselines[seed], payload)
+
+    def test_results_identical_across_policies_and_batching(self):
+        reference = None
+        for policy, max_batch in (
+            ("fifo", 1),
+            ("least-loaded", 4),
+            ("device-affinity", 6),
+        ):
+            jobs = _jobs()
+            with ExecutionEngine(
+                n_workers=2, max_batch=max_batch, policy=policy
+            ) as eng:
+                results = eng.run(jobs)
+            payloads = _payloads_by_seed(results, jobs)
+            if reference is None:
+                reference = payloads
+            else:
+                for seed, payload in payloads.items():
+                    np.testing.assert_array_equal(reference[seed], payload)
+
+    def test_engine_matches_serial_payloads(self):
+        jobs = _jobs(n=6)
+        serial_payloads = {job.seed: job.compute() for job in _jobs(n=6)}
+        with ExecutionEngine(n_workers=2, max_batch=3) as eng:
+            results = eng.run(jobs)
+        for seed, payload in _payloads_by_seed(results, jobs).items():
+            np.testing.assert_array_equal(serial_payloads[seed], payload)
+
+
+class TestBackpressure:
+    def test_shed_admission_raises_typed_error(self):
+        eng = ExecutionEngine(
+            n_workers=1, queue_depth=2, max_batch=1, admission="shed"
+        )
+        with eng:
+            shed = 0
+            for i in range(30):
+                try:
+                    eng.submit(SlowJob(n_samples=32, seed=i))
+                except JobQueueFull:
+                    shed += 1
+            assert shed > 0
+        stats = eng.stats()
+        assert stats.jobs_shed == shed
+        assert stats.queue.write_stalls >= shed
+        # everything admitted still completed (graceful drain on exit)
+        assert stats.jobs_completed == 30 - shed
+
+    def test_blocking_admission_stalls_then_completes(self):
+        eng = ExecutionEngine(
+            n_workers=1,
+            queue_depth=1,
+            max_batch=1,
+            admission="block",
+            submit_timeout_s=10.0,
+        )
+        with eng:
+            handles = [eng.submit(SlowJob(n_samples=32, seed=i)) for i in range(4)]
+            results = [h.result(30.0) for h in handles]
+        assert len(results) == 4
+        assert eng.stats().queue.write_stalls > 0
+
+    def test_submit_after_shutdown_raises_closed(self):
+        eng = ExecutionEngine(n_workers=1).start()
+        eng.shutdown()
+        with pytest.raises(JobQueueClosed):
+            eng.submit(GammaJob(n_samples=16, seed=1))
+
+
+class TestShutdown:
+    def test_graceful_drain_completes_all_handles(self):
+        eng = ExecutionEngine(n_workers=2, queue_depth=64, max_batch=4).start()
+        handles = [eng.submit(job) for job in _jobs(n=10, samples=128)]
+        eng.shutdown(drain=True)
+        assert all(h.done for h in handles)
+        results = [h.result(0.1) for h in handles]
+        assert len({r.job_id for r in results}) == 10
+        assert eng.stats().jobs_completed == 10
+
+    def test_abandoning_shutdown_fails_pending_handles(self):
+        eng = ExecutionEngine(n_workers=1, queue_depth=64, max_batch=1).start()
+        handles = [
+            eng.submit(SlowJob(n_samples=32, seed=i)) for i in range(12)
+        ]
+        eng.shutdown(drain=False)
+        outcomes = {"done": 0, "abandoned": 0}
+        for h in handles:
+            try:
+                h.result(10.0)
+                outcomes["done"] += 1
+            except JobQueueClosed:
+                outcomes["abandoned"] += 1
+        assert sum(outcomes.values()) == 12
+        assert outcomes["abandoned"] > 0
+
+    def test_shutdown_is_idempotent(self):
+        eng = ExecutionEngine(n_workers=1).start()
+        eng.shutdown()
+        eng.shutdown()
+
+
+class TestStatsAndJobs:
+    def test_stats_report_shape(self):
+        jobs = _jobs(n=8)
+        with ExecutionEngine(n_workers=2, max_batch=4) as eng:
+            eng.run(jobs)
+        stats = eng.stats()
+        assert stats.jobs_completed == 8
+        assert stats.batches >= 2
+        assert stats.mean_batch_occupancy > 1.0
+        assert stats.modeled_makespan_s > 0
+        assert stats.modeled_device_seconds >= stats.modeled_makespan_s
+        assert len(stats.workers) == 2
+        assert sum(w.jobs for w in stats.workers) == 8
+        rendered = stats.render()
+        assert "jobs: 8 completed" in rendered
+        assert stats.wall_throughput_jps > 0
+        assert stats.modeled_throughput_jps > 0
+
+    def test_latency_fields_populated(self):
+        with ExecutionEngine(n_workers=1, max_batch=2) as eng:
+            results = eng.run(_jobs(n=4))
+        for r in results:
+            assert r.total_s >= r.queue_wait_s >= 0
+            assert r.service_s > 0
+            assert r.device_seconds > 0
+            assert r.batch_size >= 1
+
+    def test_portfolio_job_roundtrip(self):
+        sectors = [Sector(name="s0", variance=1.39)]
+        portfolio = Portfolio(sectors=sectors)
+        portfolio.add(Obligor.single_sector(100.0, 0.01, 0))
+        job = PortfolioJob(portfolio=portfolio, scenarios=64, seed=3)
+        twin = PortfolioJob(portfolio=portfolio, scenarios=64, seed=3)
+        with ExecutionEngine(n_workers=1) as eng:
+            result = eng.run([job])[0]
+        np.testing.assert_array_equal(
+            result.payload.losses, twin.compute().losses
+        )
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            GammaJob(n_samples=0)
+        with pytest.raises(ValueError):
+            GammaJob(variance=-1.0)
+        with pytest.raises(ValueError):
+            GammaJob(config="Config9")
+        with pytest.raises(ValueError):
+            PortfolioJob()
+
+    def test_failed_job_raises_jobfailed_with_cause(self):
+        class BrokenJob(GammaJob):
+            def compute(self):
+                raise RuntimeError("kaput")
+
+        with ExecutionEngine(n_workers=1) as eng:
+            handle = eng.submit(BrokenJob(n_samples=16, seed=1))
+            with pytest.raises(JobFailed) as excinfo:
+                handle.result(10.0)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_serial_baseline_report(self):
+        stats = serial_baseline(_jobs(n=5, samples=128))
+        assert stats.jobs_completed == 5
+        assert stats.batches == 5
+        assert stats.max_batch_occupancy == 1
+        assert stats.modeled_makespan_s > 0

@@ -1,0 +1,173 @@
+"""Bounded job queue: backpressure, shedding, close semantics, stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import FifoStats, Stream
+from repro.engine import (
+    BoundedJobQueue,
+    GammaJob,
+    JobQueueClosed,
+    JobQueueFull,
+    SubmitTimeout,
+)
+
+
+def _job(seed=1, variance=1.39):
+    return GammaJob(n_samples=8, seed=seed, variance=variance)
+
+
+class TestAdmission:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="depth"):
+            BoundedJobQueue(depth=0)
+
+    def test_put_get_roundtrip(self):
+        q = BoundedJobQueue(depth=4)
+        job = _job()
+        q.put(job)
+        assert q.occupancy == 1
+        assert q.get_batch(1) == [job]
+        assert q.occupancy == 0
+
+    def test_shed_policy_raises_typed_error(self):
+        q = BoundedJobQueue(depth=2)
+        q.put(_job(1))
+        q.put(_job(2))
+        with pytest.raises(JobQueueFull):
+            q.put(_job(3), block=False)
+        assert q.stats.write_stalls == 1
+
+    def test_blocking_put_times_out(self):
+        q = BoundedJobQueue(depth=1)
+        q.put(_job(1))
+        t0 = time.monotonic()
+        with pytest.raises(SubmitTimeout):
+            q.put(_job(2), block=True, timeout=0.05)
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_blocking_put_unblocks_when_space_frees(self):
+        q = BoundedJobQueue(depth=1)
+        q.put(_job(1))
+        admitted = threading.Event()
+
+        def producer():
+            q.put(_job(2), block=True, timeout=5.0)
+            admitted.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        assert not admitted.is_set()  # backpressured while full
+        q.get_batch(1)
+        assert admitted.wait(2.0)
+        t.join(2.0)
+
+    def test_put_after_close_raises(self):
+        q = BoundedJobQueue(depth=2)
+        q.close()
+        with pytest.raises(JobQueueClosed):
+            q.put(_job())
+
+    def test_close_releases_blocked_producer(self):
+        q = BoundedJobQueue(depth=1)
+        q.put(_job(1))
+        errors = []
+
+        def producer():
+            try:
+                q.put(_job(2), block=True, timeout=5.0)
+            except JobQueueClosed as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        q.close()
+        t.join(2.0)
+        assert len(errors) == 1
+
+
+class TestBatchDrain:
+    def test_get_batch_coalesces_equal_keys(self):
+        q = BoundedJobQueue(depth=8)
+        a = [_job(i, variance=1.39) for i in range(3)]
+        b = _job(9, variance=0.35)
+        for job in (a[0], a[1], b, a[2]):
+            q.put(job)
+        batch = q.get_batch(max_size=4)
+        assert batch == a  # same-key jobs coalesce across the stranger
+        assert q.get_batch(max_size=4) == [b]
+
+    def test_get_batch_respects_max_size(self):
+        q = BoundedJobQueue(depth=8)
+        jobs = [_job(i) for i in range(5)]
+        for job in jobs:
+            q.put(job)
+        assert q.get_batch(max_size=2) == jobs[:2]
+        assert q.get_batch(max_size=2) == jobs[2:4]
+
+    def test_closed_and_empty_returns_empty(self):
+        q = BoundedJobQueue(depth=2)
+        q.close()
+        assert q.get_batch(1, timeout=0.01) == []
+
+    def test_close_leaves_pending_readable(self):
+        q = BoundedJobQueue(depth=2)
+        job = _job()
+        q.put(job)
+        q.close()
+        assert q.get_batch(1) == [job]
+        assert q.get_batch(1, timeout=0.01) == []
+
+    def test_get_matching_skips_other_keys(self):
+        q = BoundedJobQueue(depth=8)
+        a = _job(1, variance=1.39)
+        b = _job(2, variance=0.35)
+        q.put(a)
+        q.put(b)
+        got = q.get_matching(b.batch_key(), max_size=2, timeout=0.01)
+        assert got == [b]
+        assert q.get_batch(1) == [a]  # untouched, order preserved
+
+
+class TestSharedFifoAccounting:
+    """The queue reports the same FifoStats vocabulary as core Stream."""
+
+    def test_stats_type_shared_with_stream(self):
+        q = BoundedJobQueue(depth=4, name="q")
+        s = Stream("s", depth=4)
+        assert isinstance(q.stats, FifoStats)
+        assert isinstance(s.stats, FifoStats)
+        assert type(q.stats) is type(s.stats)
+
+    def test_high_water_and_counts(self):
+        q = BoundedJobQueue(depth=4)
+        for i in range(3):
+            q.put(_job(i))
+        q.get_batch(max_size=2)
+        st = q.stats
+        assert st.high_water == 3
+        assert st.total_writes == 3
+        assert st.total_reads == 2
+        assert st.occupancy == 1
+        assert st.headroom == 1
+        assert st.utilization == pytest.approx(0.75)
+
+    def test_stream_stats_snapshot_matches_counters(self):
+        s = Stream("s", depth=2)
+        s.write("x")
+        s.write("y")
+        s.can_write()  # full -> stall tallied
+        s.read()
+        st = s.stats
+        assert (st.total_writes, st.total_reads) == (2, 1)
+        assert st.write_stalls == 1
+        assert st.high_water == 2
+
+    def test_empty_poll_counts_read_stall(self):
+        q = BoundedJobQueue(depth=2)
+        q.get_batch(1, timeout=0.01)
+        assert q.stats.read_stalls == 1

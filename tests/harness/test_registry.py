@@ -1,0 +1,60 @@
+"""The experiment registry: eager/lazy registration and CLI derivation."""
+
+import pytest
+
+from repro.harness import registry
+from repro.harness.registry import ExperimentEntry
+
+
+class TestRegisteredDrivers:
+    def test_all_paper_artifacts_registered(self):
+        names = registry.experiment_names()
+        for expected in (
+            "fig2", "fig3", "table1", "table2", "table3",
+            "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
+            "eq1", "rejection", "buffers", "variance", "serve-bench",
+        ):
+            assert expected in names
+
+    def test_get_runner_resolves_eager_entry(self):
+        from repro.harness.experiments import run_table1
+
+        assert registry.get_runner("table1") is run_table1
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="table1"):
+            registry.get_runner("fig42")
+
+    def test_runners_matches_names(self):
+        runners = registry.runners()
+        assert list(runners) == registry.experiment_names()
+        assert all(callable(fn) for fn in runners.values())
+
+
+class TestRegistrationMechanics:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register("table1")(lambda: None)
+
+    def test_lazy_spec_requires_colon(self):
+        with pytest.raises(ValueError, match="module:callable"):
+            registry.register_lazy("broken", "no.colon.here")
+
+    def test_lazy_entry_resolves_on_demand(self):
+        entry = ExperimentEntry(
+            name="x", runner=None, spec="repro.harness.experiments:run_eq1"
+        )
+        from repro.harness.experiments import run_eq1
+
+        assert entry.resolve() is run_eq1
+        assert entry.runner is run_eq1  # cached after first resolve
+
+    def test_serve_bench_is_lazy(self):
+        # the harness must not import the engine at load time; the
+        # serve-bench entry therefore carries a spec string
+        import sys
+
+        entry = registry._REGISTRY["serve-bench"]
+        if entry.runner is None:  # not yet resolved by another test
+            assert entry.spec == "repro.engine.bench:run_serve_bench"
+        assert "repro.harness" in sys.modules

@@ -1,0 +1,120 @@
+"""Edge cases of the §III-E buffer combining strategies.
+
+The fixed ``blockOffset * wid`` layout (Listing 4) only works when the
+total length L splits evenly over the N work-items; these tests pin the
+failure modes (N not dividing L, zero-length slices) and the bit-level
+equivalence of the two strategies' combined host buffers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.opencl import (
+    Context,
+    combine_at_device_level,
+    combine_at_host_level,
+    paper_platform,
+)
+
+COMBINERS = [combine_at_host_level, combine_at_device_level]
+
+
+def _ctx() -> Context:
+    return Context(paper_platform(), "FPGA")
+
+
+class TestUnequalBlocks:
+    """N that does not divide L produces unequal blocks — rejected."""
+
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_array_split_remainder_rejected(self, combine):
+        # L = 10 over N = 3: np.array_split yields blocks of 4/3/3
+        blocks = np.array_split(np.arange(10, dtype=np.float32), 3)
+        with pytest.raises(ValueError, match="equally sized"):
+            combine(_ctx(), blocks)
+
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_single_oversized_block_rejected(self, combine):
+        blocks = [
+            np.zeros(8, dtype=np.float32),
+            np.zeros(8, dtype=np.float32),
+            np.zeros(9, dtype=np.float32),
+        ]
+        with pytest.raises(ValueError, match="equally sized"):
+            combine(_ctx(), blocks)
+
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_divisible_split_accepted(self, combine):
+        blocks = np.array_split(np.arange(12, dtype=np.float32), 3)
+        result = combine(_ctx(), blocks)
+        assert result.host_array.size == 12
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_empty_block_list_rejected(self, combine):
+        with pytest.raises(ValueError, match="at least one"):
+            combine(_ctx(), [])
+
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_zero_length_blocks_rejected(self, combine):
+        blocks = [np.empty(0, dtype=np.float32) for _ in range(4)]
+        with pytest.raises(ValueError, match="zero-length"):
+            combine(_ctx(), blocks)
+
+    @pytest.mark.parametrize("combine", COMBINERS)
+    def test_single_work_item(self, combine):
+        """N = 1 degenerates to a plain readback, valid in both modes."""
+        data = np.arange(16, dtype=np.float32)
+        result = combine(_ctx(), [data])
+        assert result.device_buffers == 1
+        assert result.read_requests == 1
+        np.testing.assert_array_equal(result.host_array, data)
+
+
+class TestBitIdenticalCombining:
+    """Host- and device-level combining must agree bit for bit."""
+
+    def _blocks(self, n_items=6, block=512, seed=11):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.random(block).astype(np.float32) for _ in range(n_items)
+        ]
+
+    def test_same_bits_random_payload(self):
+        blocks = self._blocks()
+        host = combine_at_host_level(_ctx(), blocks)
+        dev = combine_at_device_level(_ctx(), blocks)
+        assert np.array_equal(
+            host.host_array.view(np.uint32), dev.host_array.view(np.uint32)
+        )
+
+    def test_same_bits_special_float_patterns(self):
+        """NaN payloads survive both paths bit-exactly (no FP rewriting)."""
+        specials = np.array(
+            [0.0, -0.0, np.inf, -np.inf, np.nan, np.float32(1e-45)],
+            dtype=np.float32,
+        )
+        blocks = [specials.copy() for _ in range(3)]
+        host = combine_at_host_level(_ctx(), blocks)
+        dev = combine_at_device_level(_ctx(), blocks)
+        assert np.array_equal(
+            host.host_array.view(np.uint32), dev.host_array.view(np.uint32)
+        )
+
+    def test_layout_matches_block_offsets(self):
+        """wid-th block lands at offset wid * L/N in both strategies."""
+        blocks = [
+            np.full(4, wid, dtype=np.float32) for wid in range(5)
+        ]
+        for combine in COMBINERS:
+            out = combine(_ctx(), blocks)
+            for wid in range(5):
+                assert (out.host_array[wid * 4 : (wid + 1) * 4] == wid).all()
+
+    def test_fewer_read_requests_at_device_level(self):
+        blocks = self._blocks(n_items=4, block=256)
+        host = combine_at_host_level(_ctx(), blocks)
+        dev = combine_at_device_level(_ctx(), blocks)
+        assert host.read_requests == 4 and dev.read_requests == 1
+        assert dev.read_time_s < host.read_time_s

@@ -1,5 +1,6 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
 import subprocess
 import sys
 
@@ -34,6 +35,36 @@ class TestMainFunction:
         assert main(["fig8"]) == 0
         out = capsys.readouterr().out
         assert "samples" in out and "plateau" in out
+
+    def test_experiments_derive_from_registry(self):
+        from repro.harness import registry
+
+        assert list(EXPERIMENTS) == registry.experiment_names()
+        assert "serve-bench" in EXPERIMENTS
+
+
+class TestJsonOutput:
+    def test_json_single_experiment(self, capsys):
+        assert main(["--json", "eq1"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        (record,) = records
+        assert record["name"] == "eq1"
+        assert record["wall_seconds"] >= 0
+        assert record["headers"] and record["rows"]
+        assert set(record["scalars"]) == set(map(str, record["headers"]))
+
+    def test_json_is_machine_readable_end_to_end(self, capsys):
+        assert main(["--json", "table1", "eq1"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in records] == ["table1", "eq1"]
+        # every cell must have survived coercion to plain JSON types
+        for record in records:
+            for row in record["rows"]:
+                for cell in row:
+                    assert isinstance(
+                        cell, (str, int, float, bool, type(None), list)
+                    )
 
 
 def test_module_invocation():
