@@ -7,10 +7,19 @@ Usage::
     python -m repro serve-bench    # the execution-engine throughput bench
     python -m repro --list         # available experiment names
     python -m repro --json eq1     # machine-readable results
+    python -m repro --trace out.json fig3   # + Chrome trace-event file
+    python -m repro trace-report out.json   # stall-attribution table
 
 The experiment table derives from :mod:`repro.harness.registry`; new
 drivers register there (eagerly or lazily) and appear here without
 touching this module.
+
+``--trace`` installs a global :class:`repro.obs.ChromeTracer` for the
+run, so every instrumented layer — region cycle loops, the execution
+engine, the modeled device timelines — emits into one file viewable in
+``chrome://tracing`` or https://ui.perfetto.dev (see
+``docs/observability.md``).  ``trace-report`` reads such a file back
+and prints the per-process stall-attribution table.
 """
 
 from __future__ import annotations
@@ -71,7 +80,33 @@ def result_record(name: str, result, elapsed_s: float) -> dict:
     notes = getattr(result, "notes", "")
     if notes:
         record["notes"] = notes
+    series = getattr(result, "series", None)
+    if series:
+        record["series"] = _jsonable(series)
     return record
+
+
+def trace_report(path: str) -> int:
+    """Print the stall-attribution table(s) of an exported trace."""
+    from repro.obs import reports_from_trace
+
+    try:
+        reports = reports_from_trace(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not reports:
+        print(
+            f"trace {path!r} contains no cycle-attribution events "
+            "(run a region experiment with --trace, e.g. "
+            "`python -m repro --trace out.json fig3`)",
+            file=sys.stderr,
+        )
+        return 1
+    for report in reports:
+        print(report.render())
+        print()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,6 +130,14 @@ def main(argv: list[str] | None = None) -> int:
         help="emit machine-readable JSON (name, wall time, key scalars) "
         "instead of rendered tables",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record the run as a Chrome trace-event file (open in "
+        "chrome://tracing or ui.perfetto.dev); cycle-level events for "
+        "region experiments, pipeline spans for serve-bench",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -103,14 +146,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = args.experiments or list(experiments)
+    if selected and selected[0] == "trace-report":
+        if len(selected) != 2:
+            parser.error("usage: python -m repro trace-report TRACE.json")
+        return trace_report(selected[1])
     unknown = [name for name in selected if name not in experiments]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import ChromeTracer, set_tracer
+
+        tracer = ChromeTracer()
+        set_tracer(tracer)
+
     records = []
     for name in selected:
         t0 = time.perf_counter()
-        result = experiments[name]()
+        if tracer is not None:
+            with tracer.span(tracer.track("harness", "experiments"), name):
+                result = experiments[name]()
+        else:
+            result = experiments[name]()
         elapsed = time.perf_counter() - t0
         if args.json:
             records.append(result_record(name, result, elapsed))
@@ -125,6 +183,12 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render())
         print(f"[{name}: {elapsed:.2f}s]")
         print()
+    if tracer is not None:
+        from repro.obs import set_tracer
+
+        set_tracer(None)
+        n_events = tracer.export(args.trace)
+        print(f"trace: {n_events} events -> {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(records, indent=2))
     return 0

@@ -26,6 +26,9 @@ import networkx as nx
 
 from repro.core.process import Process
 from repro.core.stream import Stream
+from repro.obs import get_tracer
+from repro.obs import stall as _stall
+from repro.obs.stall import StallAttribution, StallReport
 
 __all__ = ["DataflowRegion", "DataflowError", "DeadlockError", "RegionReport"]
 
@@ -45,6 +48,9 @@ class RegionReport:
     cycles: int
     process_stats: dict[str, "object"] = field(default_factory=dict)
     stream_stats: dict[str, dict] = field(default_factory=dict)
+    #: per-cycle stall attribution; only populated on instrumented runs
+    #: (a tracer was active or an attribution was passed to ``run``)
+    stall_report: StallReport | None = None
 
     def runtime_seconds(self, frequency_hz: float) -> float:
         """Convert the cycle count to wall time at a clock frequency."""
@@ -136,8 +142,24 @@ class DataflowRegion:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, max_cycles: int = 100_000_000) -> RegionReport:
+    def run(
+        self,
+        max_cycles: int = 100_000_000,
+        tracer=None,
+        attribution: StallAttribution | None = None,
+    ) -> RegionReport:
         """Run until every process is done; returns the cycle report.
+
+        Parameters
+        ----------
+        tracer:
+            Explicit :class:`repro.obs.Tracer`; ``None`` resolves the
+            global tracer (:func:`repro.obs.get_tracer`).  A disabled
+            tracer keeps the run on the uninstrumented fast path.
+        attribution:
+            An externally owned :class:`~repro.obs.StallAttribution`
+            (``trace_region`` passes one with lane capture); forces the
+            instrumented path regardless of the tracer.
 
         Raises
         ------
@@ -149,6 +171,13 @@ class DataflowRegion:
         if not self._processes:
             raise DataflowError("region has no processes")
         ordered = self._validate()
+        if attribution is None:
+            if tracer is None:
+                tracer = get_tracer()
+            if tracer.enabled:
+                attribution = StallAttribution(self.name, tracer=tracer)
+        if attribution is not None:
+            return self._run_instrumented(ordered, max_cycles, attribution)
         cycle = 0
         while True:
             live = [p for p in ordered if not p.done()]
@@ -169,6 +198,95 @@ class DataflowRegion:
                 raise DeadlockError(self._deadlock_message(cycle))
             cycle += 1
         return self._report(cycle)
+
+    def _run_instrumented(
+        self,
+        ordered: list[Process],
+        max_cycles: int,
+        attribution: StallAttribution,
+    ) -> RegionReport:
+        """The traced twin of :meth:`run`'s loop.
+
+        Identical semantics (tick order, deadlock detection, runaway
+        guard) plus a per-cycle classification of every process into the
+        :mod:`repro.obs.stall` taxonomy, found by diffing the progress
+        counters around ``tick()``:
+
+        * ``active_cycles`` moved → compute;
+        * an output stream's ``write_stalls`` moved → FIFO full;
+        * an input stream's ``read_stalls`` moved → FIFO empty;
+        * the process owns the burst draining on a channel → transfer;
+        * otherwise the process's own :meth:`Process.stall_reason`
+          (sampled *before* the tick) — channel-grant waits and
+          initiation-interval bubbles classify themselves.
+        """
+        channels = self._memory_channels
+        cycle = 0
+        while True:
+            live = [p for p in ordered if not p.done()]
+            if not live:
+                break
+            if cycle >= max_cycles:
+                attribution.close(cycle)
+                raise RuntimeError(
+                    f"region {self.name!r} exceeded {max_cycles} cycles"
+                )
+            progressed = False
+            states: dict[str, str] = {}
+            pre: dict[str, tuple] = {}
+            for proc in ordered:
+                if proc.done():
+                    states[proc.name] = _stall.DONE
+                    continue
+                pre[proc.name] = (
+                    proc.stats.active_cycles,
+                    proc.stall_reason(),
+                    tuple(s.read_stalls for s in proc.inputs()),
+                    tuple(s.write_stalls for s in proc.outputs()),
+                )
+                if proc.tick(cycle):
+                    progressed = True
+            owners: set[str] = set()
+            channels_busy: list[bool] = []
+            for channel in channels:
+                busy = channel.tick(cycle)
+                if busy:
+                    progressed = True
+                channels_busy.append(busy)
+                current = channel._current
+                if current is not None:
+                    owners.add(current.owner)
+            for proc in ordered:
+                if proc.name in states:
+                    continue
+                active0, reason, reads0, writes0 = pre[proc.name]
+                if proc.name in owners:
+                    states[proc.name] = _stall.TRANSFER
+                elif proc.stats.active_cycles > active0:
+                    states[proc.name] = _stall.COMPUTE
+                elif any(
+                    s.write_stalls > w0
+                    for s, w0 in zip(proc.outputs(), writes0)
+                ):
+                    states[proc.name] = _stall.FIFO_FULL
+                elif any(
+                    s.read_stalls > r0
+                    for s, r0 in zip(proc.inputs(), reads0)
+                ):
+                    states[proc.name] = _stall.FIFO_EMPTY
+                elif reason is not None:
+                    states[proc.name] = reason
+                else:
+                    states[proc.name] = _stall.PIPELINE
+            attribution.record_cycle(cycle, states, channels_busy)
+            if not progressed:
+                attribution.close(cycle + 1)
+                raise DeadlockError(self._deadlock_message(cycle))
+            cycle += 1
+        attribution.close(cycle)
+        report = self._report(cycle)
+        report.stall_report = attribution.report()
+        return report
 
     def _deadlock_message(self, cycle: int) -> str:
         lines = [f"deadlock in region {self.name!r} at cycle {cycle}:"]

@@ -184,6 +184,11 @@ class GammaRNGProcess(Process):
     def done(self) -> bool:
         return self._done
 
+    def stall_reason(self) -> str | None:
+        if self._stall_budget > 0:
+            return "pipeline"  # II bubble / gated-MT flush cycle
+        return None
+
     # -- helpers --------------------------------------------------------------------
 
     def _enter_sector(self, sector: int) -> None:

@@ -62,6 +62,18 @@ class Process(abc.ABC):
         """Streams this process produces."""
         return ()
 
+    def stall_reason(self) -> str | None:
+        """Why the *next* tick would stall, if the process knows.
+
+        Sampled by the instrumented region loop *before* ``tick()`` and
+        consulted only when the cycle shows no progress and no FIFO
+        poll failed — the cases the stream counters cannot explain
+        (channel-grant waits, initiation-interval bubbles).  Values are
+        the :mod:`repro.obs.stall` state names; ``None`` means "no
+        specific reason" and classifies as a generic pipeline bubble.
+        """
+        return None
+
     def _account(self, progressed: bool) -> bool:
         """Bookkeeping helper subclasses call at the end of tick()."""
         self.stats.cycles += 1

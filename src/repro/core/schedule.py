@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.dataflow import DataflowRegion, RegionReport
+from repro.obs import get_tracer
+from repro.obs.stall import StallAttribution
 
 __all__ = ["ScheduleTrace", "trace_region"]
 
@@ -74,55 +76,22 @@ class ScheduleTrace:
 
 
 def trace_region(
-    region: DataflowRegion, max_cycles: int = 1_000_000
+    region: DataflowRegion, max_cycles: int = 1_000_000, tracer=None
 ) -> ScheduleTrace:
     """Run a region cycle by cycle, recording every process's activity.
 
     Equivalent to ``region.run()`` but returns the schedule trace along
     with the report.  The channel owner each cycle is marked ``T`` on
     the lane of the process that submitted the draining burst.
-    """
-    ordered = region._validate()  # reuse the wiring checks
-    channels = region.memory_channels
-    trace = ScheduleTrace()
-    for proc in ordered:
-        trace.lanes[proc.name] = []
-    cycle = 0
-    while True:
-        live = [p for p in ordered if not p.done()]
-        if not live:
-            break
-        if cycle >= max_cycles:
-            raise RuntimeError(f"trace exceeded {max_cycles} cycles")
-        progressed = False
-        active_before = {p.name: p.stats.active_cycles for p in ordered}
-        for proc in ordered:
-            if proc.done():
-                trace.lanes[proc.name].append(".")
-                continue
-            if proc.tick(cycle):
-                progressed = True
-        owners = set()
-        for channel in channels:
-            if channel.tick(cycle):
-                progressed = True
-            current = channel._current
-            if current is not None:
-                owners.add(current.owner)
-        for proc in ordered:
-            lane = trace.lanes[proc.name]
-            if len(lane) > cycle:
-                continue  # already marked done
-            if proc.name in owners:
-                lane.append("T")
-            elif proc.stats.active_cycles > active_before[proc.name]:
-                lane.append("C")
-            else:
-                lane.append("w")
-        if not progressed:
-            from repro.core.dataflow import DeadlockError
 
-            raise DeadlockError(region._deadlock_message(cycle))
-        cycle += 1
-    trace.report = region._report(cycle)
-    return trace
+    Implemented on the instrumented region loop: a
+    :class:`~repro.obs.StallAttribution` with lane capture classifies
+    every cycle, so the run also yields the full stall report
+    (``trace.report.stall_report``) and — when a tracer is active —
+    the Chrome trace-event timeline.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    attribution = StallAttribution(region.name, tracer=tracer, keep_lanes=True)
+    report = region.run(max_cycles=max_cycles, attribution=attribution)
+    return ScheduleTrace(lanes=attribution.lanes, report=report)

@@ -51,6 +51,21 @@ class FifoStats:
         """High-water mark as a fraction of capacity."""
         return self.high_water / self.depth
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON output, metrics snapshots)."""
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "occupancy": self.occupancy,
+            "total_writes": self.total_writes,
+            "total_reads": self.total_reads,
+            "write_stalls": self.write_stalls,
+            "read_stalls": self.read_stalls,
+            "high_water": self.high_water,
+            "headroom": self.headroom,
+            "utilization": self.utilization,
+        }
+
 
 class StreamFull(RuntimeError):
     """Write attempted on a full stream (producer should have stalled)."""

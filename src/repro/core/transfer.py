@@ -138,6 +138,13 @@ class TransferEngine(Process):
     def done(self) -> bool:
         return self._state is _State.DONE
 
+    def stall_reason(self) -> str | None:
+        if self._state is _State.WAIT_BURST:
+            return "memory_channel"  # waiting for the shared-channel grant
+        if self._pack_stall > 0:
+            return "pipeline"  # TLOOP II bubble (DEPENDENCE-false ablation)
+        return None
+
     def tick(self, cycle: int) -> bool:
         if self._state is _State.WAIT_BURST:
             if self._pending is not None and self._pending.done:

@@ -88,6 +88,15 @@ class Batcher:
         self.queue = queue
         self.max_batch = max_batch
         self.linger_s = linger_s
+        self.tracer = None
+        self._track = None
+
+    def attach_tracer(
+        self, tracer, process: str = "engine", thread: str = "batcher"
+    ) -> None:
+        """Emit a batch-formed instant per coalesced batch."""
+        self.tracer = tracer
+        self._track = tracer.track(process, thread) if tracer.enabled else None
 
     def next_batch(self, timeout: float | None = 0.1) -> Batch | None:
         """The next coalesced batch, or None when nothing is available.
@@ -112,4 +121,14 @@ class Batcher:
                 if not more:
                     break
                 jobs.extend(more)
-        return Batch(jobs=jobs)
+        batch = Batch(jobs=jobs)
+        if self._track is not None:
+            self.tracer.instant(
+                self._track, "batch_formed",
+                args={
+                    "batch_id": batch.batch_id,
+                    "size": batch.size,
+                    "key": str(batch.key),
+                },
+            )
+        return batch

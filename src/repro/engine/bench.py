@@ -124,7 +124,10 @@ def run_serve_bench(
                 "mean_batch_occupancy": stats.mean_batch_occupancy,
                 "queue_high_water": stats.queue.high_water,
                 "submit_stalls": stats.queue.write_stalls,
-            }
+            },
+            "engine_stats": stats.to_dict(),
+            "serial_stats": serial.to_dict(),
+            "metrics": engine.metrics.snapshot(),
         },
         notes=stats.render(),
     )

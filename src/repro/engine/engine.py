@@ -47,6 +47,7 @@ from repro.engine.queue import (
     SubmitTimeout,
 )
 from repro.engine.stats import EngineStats, JobRecord, WorkerStats, summarize
+from repro.obs import MetricsRegistry, get_tracer
 
 __all__ = ["ExecutionEngine", "JobFailed", "JobHandle", "serial_baseline"]
 
@@ -115,6 +116,19 @@ class ExecutionEngine:
         Batcher linger window for topping up partial batches.
     workers:
         Pre-built heterogeneous workers, overriding ``n_workers``.
+    tracer:
+        Explicit :class:`repro.obs.Tracer`; ``None`` resolves the
+        global tracer at construction.  When enabled, the pipeline
+        emits enqueue→batch→dispatch→complete spans plus shed and
+        occupancy events; disabled keeps every hot path event-free.
+
+    Attributes
+    ----------
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` (prefix ``engine.``)
+        counting admissions, sheds, completions and batch shapes, and
+        observing the latency series; snapshot with
+        ``engine.metrics.snapshot()``.
     """
 
     def __init__(
@@ -129,6 +143,7 @@ class ExecutionEngine:
         submit_timeout_s: float | None = None,
         batch_linger_s: float = 0.0,
         workers: Sequence[DeviceWorker] | None = None,
+        tracer=None,
     ):
         if admission not in ("block", "shed"):
             raise ValueError(
@@ -143,12 +158,25 @@ class ExecutionEngine:
             ]
         self.admission = admission
         self.submit_timeout_s = submit_timeout_s
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = MetricsRegistry(prefix="engine.")
         self.queue = BoundedJobQueue(depth=queue_depth, name="engine_admission")
+        self.queue.attach_tracer(self.tracer)
         self.batcher = Batcher(
             self.queue, max_batch=max_batch, linger_s=batch_linger_s
         )
+        self.batcher.attach_tracer(self.tracer)
         self.pool = WorkerPool(
             list(workers), policy=policy, on_batch=self._on_batch
+        )
+        self.pool.attach_tracer(self.tracer)
+        for worker in self.pool.workers:
+            if worker.tracer is None:
+                worker.tracer = self.tracer
+        self._jobs_track = (
+            self.tracer.track("engine", "jobs")
+            if self.tracer.enabled
+            else None
         )
         self._handles: dict[int, JobHandle] = {}
         self._records: list[JobRecord] = []
@@ -205,7 +233,9 @@ class ExecutionEngine:
             with self._state_lock:
                 self._handles.pop(job.job_id, None)
                 self._jobs_shed += 1
+            self.metrics.counter("jobs_shed").inc()
             raise
+        self.metrics.counter("jobs_submitted").inc()
         return handle
 
     def run(
@@ -326,7 +356,24 @@ class ExecutionEngine:
                         device_seconds=result.device_seconds,
                     )
                 )
+            self.metrics.counter("jobs_completed").inc()
+            self.metrics.histogram("queue_wait_s").observe(queue_wait)
+            self.metrics.histogram("total_s").observe(result.total_s)
+            if self._jobs_track is not None:
+                self.tracer.complete(
+                    self._jobs_track,
+                    f"job{job.job_id}",
+                    ts_us=self.tracer.wall_us(handle.submitted_at),
+                    dur_us=result.total_s * 1e6,
+                    args={
+                        "worker": outcome.worker,
+                        "batch_id": outcome.batch.batch_id,
+                        "queue_wait_ms": round(1e3 * queue_wait, 3),
+                    },
+                )
             handle._fulfill(None if error is not None else result, error)
+        self.metrics.counter("batches").inc()
+        self.metrics.histogram("batch_occupancy").observe(outcome.batch.size)
 
     # -- reporting ---------------------------------------------------------------
 

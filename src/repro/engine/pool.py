@@ -39,6 +39,7 @@ from repro.engine.batcher import Batch
 from repro.engine.jobs import Job
 from repro.harness.configs import CONFIGURATIONS, Configuration
 from repro.harness.session import KernelSession
+from repro.obs import get_tracer
 from repro.opencl import KernelHandle, MemFlag
 
 __all__ = [
@@ -89,6 +90,9 @@ class DeviceWorker:
         self.jobs_done = 0
         self.batches_done = 0
         self._timeline_lock = threading.Lock()
+        #: explicit tracer override; None resolves the global tracer at
+        #: execute() time (so `--trace` reaches pre-built workers too)
+        self.tracer = None
 
     # -- modeled timeline --------------------------------------------------------
 
@@ -106,6 +110,7 @@ class DeviceWorker:
 
     def execute(self, batch: Batch) -> BatchOutcome:
         """Run one batch: compute payloads, advance the device timeline."""
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         wall0 = time.monotonic()
         payloads: list[Any] = []
         errors: list[BaseException | None] = []
@@ -123,6 +128,7 @@ class DeviceWorker:
         with self._timeline_lock:
             queue = self.session.queue
             t0 = queue.now
+            first_event = len(queue.events)
             kernel = KernelHandle(
                 name=f"batch{batch.batch_id}_{self.configuration.name}",
                 body=None,
@@ -135,8 +141,24 @@ class DeviceWorker:
             )
             queue.enqueue_read_buffer(buffer)
             batch_device_s = queue.finish() - t0
+            if tracer.enabled:
+                # per-command spans of this batch on the modeled timeline
+                queue.export_trace(
+                    tracer,
+                    process="devices (modeled)",
+                    thread=f"{self.name} [{self.device_name}]",
+                    events=queue.events[first_event:],
+                )
         self.jobs_done += batch.size
         self.batches_done += 1
+        if tracer.enabled:
+            tracer.complete(
+                tracer.track("engine", f"worker:{self.name}"),
+                f"batch{batch.batch_id}",
+                ts_us=tracer.wall_us(wall0),
+                dur_us=(time.monotonic() - wall0) * 1e6,
+                args={"jobs": batch.size, "key": str(batch.key)},
+            )
         return BatchOutcome(
             batch=batch,
             worker=self.name,
@@ -272,6 +294,16 @@ class WorkerPool:
         self._idle = threading.Condition(self._lock)
         self._stopping = False
         self._threads: list[threading.Thread] = []
+        self.tracer = None
+        self._track = None
+
+    def attach_tracer(
+        self, tracer, process: str = "engine", thread: str = "dispatcher"
+    ) -> None:
+        """Emit a dispatch instant per batch handed to a worker."""
+        self.tracer = tracer
+        self._track = tracer.track(process, thread) if tracer.enabled else None
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -310,6 +342,15 @@ class WorkerPool:
                 self._counted[batch.batch_id] = (target.name, estimate)
             self._inflight += 1
             self._work_ready.notify_all()
+        if self._track is not None:
+            self.tracer.instant(
+                self._track, "dispatch",
+                args={
+                    "batch_id": batch.batch_id,
+                    "size": batch.size,
+                    "target": target.name if target is not None else "shared",
+                },
+            )
 
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until every dispatched batch completed (graceful drain)."""

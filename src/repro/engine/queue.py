@@ -73,6 +73,23 @@ class BoundedJobQueue:
         self.write_stalls = 0
         self.read_stalls = 0
         self.high_water = 0
+        # observability (attach_tracer wires these)
+        self.tracer = None
+        self._track = None
+
+    def attach_tracer(
+        self, tracer, process: str = "engine", thread: str = "admission"
+    ) -> None:
+        """Emit occupancy counters and shed instants through ``tracer``."""
+        self.tracer = tracer
+        self._track = tracer.track(process, thread) if tracer.enabled else None
+
+    def _emit_occupancy(self) -> None:
+        if self._track is not None:
+            self.tracer.counter(
+                self._track, "queue_occupancy",
+                {"occupancy": len(self._fifo)},
+            )
 
     # -- state ------------------------------------------------------------------
 
@@ -126,6 +143,11 @@ class BoundedJobQueue:
             if len(self._fifo) >= self.depth:
                 self.write_stalls += 1
                 if not block:
+                    if self._track is not None:
+                        self.tracer.instant(
+                            self._track, "shed",
+                            args={"job_id": job.job_id},
+                        )
                     raise JobQueueFull(
                         f"queue {self.name!r} full (depth={self.depth}); "
                         "admission shed"
@@ -149,6 +171,7 @@ class BoundedJobQueue:
             self.total_writes += 1
             if len(self._fifo) > self.high_water:
                 self.high_water = len(self._fifo)
+            self._emit_occupancy()
             self._not_empty.notify()
 
     def close(self) -> None:
@@ -201,6 +224,7 @@ class BoundedJobQueue:
                 keep.extend(self._fifo)
                 self._fifo = keep
             self.total_reads += len(batch)
+            self._emit_occupancy()
             self._not_full.notify_all()
             return batch
 
@@ -227,6 +251,7 @@ class BoundedJobQueue:
                 matched = self._take_matching(key, max_size)
             if matched:
                 self.total_reads += len(matched)
+                self._emit_occupancy()
                 self._not_full.notify_all()
             return matched
 

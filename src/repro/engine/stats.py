@@ -16,10 +16,10 @@ device timeline.  Throughput comes in two flavours:
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.stream import FifoStats
+from repro.obs.percentiles import summarize as _summarize
 
 __all__ = ["JobRecord", "WorkerStats", "EngineStats", "summarize"]
 
@@ -82,6 +82,33 @@ class EngineStats:
             return 0.0
         return self.jobs_completed / self.modeled_makespan_s
 
+    def to_dict(self, include_records: bool = False) -> dict:
+        """Plain-dict form for ``--json`` output and trace/metrics sinks.
+
+        Per-job records are omitted unless asked for — they dominate the
+        payload size and most consumers only want the aggregates.
+        """
+        out = {
+            "jobs_completed": self.jobs_completed,
+            "jobs_shed": self.jobs_shed,
+            "batches": self.batches,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "max_batch_occupancy": self.max_batch_occupancy,
+            "queue_wait_s": dict(self.queue_wait_s),
+            "service_s": dict(self.service_s),
+            "total_s": dict(self.total_s),
+            "wall_seconds": self.wall_seconds,
+            "modeled_makespan_s": self.modeled_makespan_s,
+            "modeled_device_seconds": self.modeled_device_seconds,
+            "wall_throughput_jps": self.wall_throughput_jps,
+            "modeled_throughput_jps": self.modeled_throughput_jps,
+            "queue": self.queue.to_dict(),
+            "workers": [asdict(w) for w in self.workers],
+        }
+        if include_records:
+            out["records"] = [asdict(r) for r in self.records]
+        return out
+
     def render(self) -> str:
         lines = [
             f"jobs: {self.jobs_completed} completed, {self.jobs_shed} shed, "
@@ -109,14 +136,12 @@ class EngineStats:
 
 
 def summarize(values: list[float]) -> dict[str, float]:
-    """mean/p50/p95/max summary of a latency series (empty-safe)."""
-    if not values:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
-    ordered = sorted(values)
-    p95_idx = min(len(ordered) - 1, int(0.95 * len(ordered)))
-    return {
-        "mean": statistics.fmean(ordered),
-        "p50": ordered[len(ordered) // 2],
-        "p95": ordered[p95_idx],
-        "max": ordered[-1],
-    }
+    """mean/p50/p95/max summary of a latency series (empty-safe).
+
+    Delegates to the shared interpolated-percentile estimator in
+    :mod:`repro.obs.percentiles`: ``p50`` is the true median (the old
+    upper-median index was biased high on even-length series) and
+    ``p95`` interpolates instead of rounding up to the maximum on short
+    series (``int(0.95 * n)`` hit the max for any ``n <= 20``).
+    """
+    return _summarize(values)

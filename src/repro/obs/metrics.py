@@ -1,0 +1,154 @@
+"""Metrics primitives: counters, gauges and histograms under one registry.
+
+The serving layers (engine, queue, batcher) count what happened —
+admissions, sheds, backpressure stalls — and observe latency series;
+a :class:`MetricsRegistry` owns them by name so a whole subsystem can be
+snapshotted into one plain dict for ``--json`` output or assertions.
+
+All primitives are thread-safe (the engine increments from worker and
+dispatcher threads) and cheap: an uncontended lock plus an add.  The
+histogram snapshot reuses :func:`repro.obs.percentiles.summarize`, the
+same estimator the engine's latency report uses, so a histogram's "p95"
+and ``EngineStats``'s "p95" are directly comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.obs.percentiles import summarize
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (events, jobs, sheds)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value (occupancy, inflight batches)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Value series summarized with the shared percentile estimator."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        with self._lock:
+            self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._values)
+
+    def snapshot(self) -> dict[str, float]:
+        """count + the shared mean/p50/p95/max summary."""
+        with self._lock:
+            values = list(self._values)
+        out = {"count": float(len(values)), "sum": float(sum(values))}
+        out.update(summarize(values))
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics of one subsystem, snapshottable as a plain dict.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name, so
+    instrumentation sites never coordinate: the first caller creates
+    the metric, later callers share it.  Asking for an existing name
+    with a different type raises.
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(Histogram, name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """``{name: value-or-summary}`` over every registered metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {
+            (f"{self.prefix}{name}" if self.prefix else name): m.snapshot()
+            for name, m in sorted(metrics.items())
+        }

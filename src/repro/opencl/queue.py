@@ -244,6 +244,40 @@ class CommandQueue:
 
     # -- reporting ------------------------------------------------------------------
 
+    def export_trace(
+        self,
+        tracer,
+        process: str = "devices (modeled)",
+        thread: str = "queue",
+        events: list[Event] | None = None,
+        cat: str = "modeled",
+    ) -> int:
+        """Emit completed events as spans on the modeled timeline.
+
+        One ``ph="X"`` span per event at ``time_start``/``duration``
+        scaled to microseconds — the ``cat="modeled"`` clock domain of
+        :mod:`repro.obs.tracer` (1 µs of trace time == 1 µs of simulated
+        device time, deterministic).  Pass ``events`` to export a slice
+        (e.g. just the commands of one batch); returns the span count.
+        """
+        if not tracer.enabled:
+            return 0
+        track = tracer.track(process, thread)
+        count = 0
+        for e in self.events if events is None else events:
+            if e.status is not EventStatus.COMPLETE:
+                continue
+            tracer.complete(
+                track,
+                e.label or e.command.value,
+                ts_us=e.time_start * 1e6,
+                dur_us=e.duration * 1e6,
+                cat=cat,
+                args={"command": e.command.value},
+            )
+            count += 1
+        return count
+
     def profile(self) -> list[dict]:
         """Profiling table of all completed events."""
         return [

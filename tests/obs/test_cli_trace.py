@@ -1,0 +1,59 @@
+"""The --trace flag and trace-report subcommand of ``python -m repro``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main, trace_report
+from repro.obs import NullTracer, get_tracer
+
+
+class TestTraceFlag:
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["--trace", str(out), "fig3"]) == 0
+        captured = capsys.readouterr()
+        assert f"-> {out}" in captured.err
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        assert events and all("ph" in e for e in events)
+        # the experiment span on the harness track
+        harness = [e for e in events if e["ph"] == "X" and e["name"] == "fig3"]
+        assert len(harness) == 1
+        # region cycle events made it through the global tracer
+        assert any(e.get("cat") == "cycle" for e in events)
+
+    def test_global_tracer_restored_after_run(self, tmp_path, capsys):
+        assert main(["--trace", str(tmp_path / "t.json"), "eq1"]) == 0
+        capsys.readouterr()
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_json_record_includes_series(self, capsys):
+        assert main(["--json", "fig3"]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert "lanes" in record["series"]
+
+
+class TestTraceReport:
+    def test_report_from_region_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["--trace", str(out), "fig3"]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "stall attribution" in text
+        assert "compute/transfer overlap" in text
+
+    def test_missing_file(self, capsys):
+        assert trace_report("/nonexistent/trace.json") == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_without_cycle_events(self, tmp_path, capsys):
+        path = tmp_path / "engine.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert trace_report(str(path)) == 1
+        assert "no cycle-attribution" in capsys.readouterr().err
+
+    def test_usage_error_without_path(self):
+        with pytest.raises(SystemExit):
+            main(["trace-report"])

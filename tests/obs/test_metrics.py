@@ -1,0 +1,94 @@
+"""Counters, gauges, histograms and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("jobs")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = Counter("jobs")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("jobs")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("occupancy")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_and_snapshot(self):
+        h = Histogram("latency")
+        h.observe(1.0)
+        h.observe_many([2.0, 3.0])
+        assert h.count == 3
+        snap = h.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["sum"] == 6.0
+        assert snap["mean"] == 2.0
+
+    def test_empty_snapshot(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0.0
+        assert snap["p95"] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instances(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_plain_and_prefixed(self):
+        reg = MetricsRegistry(prefix="engine.")
+        reg.counter("jobs").inc(3)
+        reg.gauge("inflight").set(2.0)
+        reg.histogram("wait").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["engine.jobs"] == 3
+        assert snap["engine.inflight"] == 2.0
+        assert snap["engine.wait"]["count"] == 1.0
+        assert reg.names() == ["inflight", "jobs", "wait"]
+
+    def test_engine_populates_metrics(self):
+        """The execution engine feeds its registry during a run."""
+        from repro.engine.bench import make_job_mix
+        from repro.engine.engine import ExecutionEngine
+
+        with ExecutionEngine(n_workers=1, max_batch=4) as engine:
+            engine.run(make_job_mix(n_jobs=4, n_samples=64))
+        snap = engine.metrics.snapshot()
+        assert snap["engine.jobs_submitted"] == 4
+        assert snap["engine.jobs_completed"] == 4
+        assert snap["engine.batches"] >= 1
+        assert snap["engine.queue_wait_s"]["count"] == 4.0

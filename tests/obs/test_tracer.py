@@ -1,0 +1,149 @@
+"""Tracer semantics: no-op default, Chrome export, cycle determinism."""
+
+import json
+
+from repro.core.decoupled import DecoupledConfig, DecoupledWorkItems
+from repro.core.kernel import GammaKernelConfig
+from repro.obs import (
+    ChromeTracer,
+    NullTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+def _small_config():
+    return DecoupledConfig(
+        n_work_items=2,
+        burst_words=1,
+        kernel=GammaKernelConfig(limit_main=32),
+    )
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        t = NullTracer()
+        assert not t.enabled
+        track = t.track("p", "t")
+        t.complete(track, "x", 0, 1)
+        t.instant(track, "x")
+        t.counter(track, "x", {"v": 1})
+        with t.span(track, "x"):
+            pass
+        assert t.wall_us() == 0.0
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_set_and_restore(self):
+        t = ChromeTracer()
+        previous = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_scopes(self):
+        t = ChromeTracer()
+        before = get_tracer()
+        with use_tracer(t) as active:
+            assert active is t
+            assert get_tracer() is t
+        assert get_tracer() is before
+
+
+class TestChromeTracer:
+    def test_track_metadata_events(self):
+        t = ChromeTracer()
+        a = t.track("region", "p0")
+        b = t.track("region", "p1")
+        again = t.track("region", "p0")
+        assert a == again
+        assert a.pid == b.pid and a.tid != b.tid
+        meta = [e for e in t.events() if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "region") in names
+        assert ("thread_name", "p0") in names
+
+    def test_complete_event_shape(self):
+        t = ChromeTracer()
+        track = t.track("r", "p")
+        t.complete(track, "compute", ts_us=10, dur_us=5, cat="cycle",
+                   args={"k": 1})
+        (event,) = [e for e in t.events() if e["ph"] == "X"]
+        assert event == {
+            "name": "compute", "ph": "X", "pid": track.pid,
+            "tid": track.tid, "ts": 10.0, "dur": 5.0, "cat": "cycle",
+            "args": {"k": 1},
+        }
+
+    def test_export_round_trips(self, tmp_path):
+        t = ChromeTracer()
+        t.complete(t.track("r", "p"), "x", 0, 1, cat="cycle")
+        path = tmp_path / "trace.json"
+        count = t.export(str(path))
+        assert count == len(t)
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_span_measures_wall_time(self):
+        t = ChromeTracer()
+        with t.span(t.track("r", "p"), "block"):
+            pass
+        (event,) = [e for e in t.events() if e["ph"] == "X"]
+        assert event["name"] == "block"
+        assert event["dur"] >= 0.0
+
+
+class TestCycleDeterminism:
+    def test_identical_runs_export_identical_json(self):
+        """Same seed + config ⇒ byte-identical cycle-domain trace.
+
+        Region traces carry only ``cat="cycle"`` events with explicit
+        simulated timestamps, so the whole export is deterministic —
+        the property that makes traces diffable across refactors.
+        """
+        payloads = []
+        for _ in range(2):
+            tracer = ChromeTracer()
+            sim = DecoupledWorkItems(_small_config())
+            sim.region.run(tracer=tracer)
+            payloads.append(tracer.to_json())
+        assert payloads[0] == payloads[1]
+        assert '"cat":"cycle"' in payloads[0]
+
+    def test_stall_report_only_on_instrumented_runs(self):
+        report = DecoupledWorkItems(_small_config()).region.run()
+        assert report.stall_report is None
+        traced = DecoupledWorkItems(_small_config()).region.run(
+            tracer=ChromeTracer()
+        )
+        assert traced.stall_report is not None
+        assert traced.stall_report.cycles == report.cycles
+
+
+class TestDisabledOverhead:
+    def test_untraced_run_not_slowed(self):
+        """Uninstrumented runs stay on the fast path (relaxed tier-1
+        guard; benchmarks/test_obs_overhead.py holds the <10% bound)."""
+        import time
+
+        def best_of(f, n=3):
+            times = []
+            for _ in range(n):
+                sim = DecoupledWorkItems(_small_config())
+                t0 = time.perf_counter()
+                f(sim)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        baseline = best_of(lambda sim: sim.region.run())
+        explicit_null = best_of(
+            lambda sim: sim.region.run(tracer=NullTracer())
+        )
+        assert explicit_null < baseline * 1.5 + 0.01
