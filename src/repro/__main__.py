@@ -9,6 +9,8 @@ Usage::
     python -m repro --json eq1     # machine-readable results
     python -m repro --trace out.json fig3   # + Chrome trace-event file
     python -m repro trace-report out.json   # stall-attribution table
+    python -m repro --faults plan.json serve-bench   # fault injection
+    python -m repro chaos                   # the seeded resilience run
 
 The experiment table derives from :mod:`repro.harness.registry`; new
 drivers register there (eagerly or lazily) and appear here without
@@ -25,6 +27,7 @@ and prints the per-process stall-attribution table.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -138,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
         "chrome://tracing or ui.perfetto.dev); cycle-level events for "
         "region experiments, pipeline spans for serve-bench",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="fault-injection plan (FaultPlan JSON, see "
+        "docs/resilience.md) passed to every selected experiment that "
+        "accepts a `faults` parameter (serve-bench, chaos)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -154,6 +165,33 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    def _accepts_faults(runner) -> bool:
+        try:
+            return "faults" in inspect.signature(runner).parameters
+        except (TypeError, ValueError):
+            return False
+
+    fault_aware: set[str] = set()
+    if args.faults is not None:
+        fault_aware = {
+            name for name in selected if _accepts_faults(experiments[name])
+        }
+        if not fault_aware:
+            parser.error(
+                "--faults requires at least one selected experiment with "
+                "a `faults` parameter (serve-bench, chaos); selected: "
+                f"{', '.join(selected)}"
+            )
+        # fail fast on an unreadable/invalid plan rather than deep
+        # inside a driver (the engine is already imported: resolving
+        # the fault-aware runners above pulled it in)
+        from repro.engine.resilience import FaultPlan
+
+        try:
+            FaultPlan.from_json(args.faults)
+        except (OSError, ValueError, TypeError) as exc:
+            parser.error(f"cannot load fault plan {args.faults!r}: {exc}")
+
     tracer = None
     if args.trace is not None:
         from repro.obs import ChromeTracer, set_tracer
@@ -164,11 +202,12 @@ def main(argv: list[str] | None = None) -> int:
     records = []
     for name in selected:
         t0 = time.perf_counter()
+        kwargs = {"faults": args.faults} if name in fault_aware else {}
         if tracer is not None:
             with tracer.span(tracer.track("harness", "experiments"), name):
-                result = experiments[name]()
+                result = experiments[name](**kwargs)
         else:
-            result = experiments[name]()
+            result = experiments[name](**kwargs)
         elapsed = time.perf_counter() - t0
         if args.json:
             records.append(result_record(name, result, elapsed))

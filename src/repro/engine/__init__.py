@@ -12,12 +12,19 @@ scheduling policy.  See ``docs/engine.md`` for the architecture.
 * :mod:`repro.engine.batcher` — request coalescing,
 * :mod:`repro.engine.pool` — device workers and scheduling policies,
 * :mod:`repro.engine.engine` — the orchestrating ExecutionEngine,
+* :mod:`repro.engine.resilience` — fault injection, deadlines,
+  retries and circuit breakers (see ``docs/resilience.md``),
 * :mod:`repro.engine.stats` — latency/throughput accounting,
-* :mod:`repro.engine.bench` — the `serve-bench` driver.
+* :mod:`repro.engine.bench` — the `serve-bench` and `chaos` drivers.
 """
 
 from repro.engine.batcher import Batch, Batcher
-from repro.engine.bench import make_job_mix, run_serve_bench
+from repro.engine.bench import (
+    default_chaos_plan,
+    make_job_mix,
+    run_chaos,
+    run_serve_bench,
+)
 from repro.engine.engine import (
     ExecutionEngine,
     JobFailed,
@@ -39,6 +46,17 @@ from repro.engine.queue import (
     JobQueueFull,
     SubmitTimeout,
 )
+from repro.engine.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    JobDeadlineExceeded,
+    ManualClock,
+    RetryPolicy,
+    TimerThread,
+    WorkerFault,
+)
 from repro.engine.stats import EngineStats, JobRecord, WorkerStats
 
 __all__ = [
@@ -46,25 +64,36 @@ __all__ = [
     "Batcher",
     "BatchOutcome",
     "BoundedJobQueue",
+    "CircuitBreaker",
     "DeviceWorker",
     "EngineError",
     "EngineStats",
     "ExecutionEngine",
+    "FaultPlan",
+    "FaultRule",
     "GammaJob",
+    "InjectedFault",
     "Job",
+    "JobDeadlineExceeded",
     "JobFailed",
     "JobHandle",
     "JobQueueClosed",
     "JobQueueFull",
     "JobRecord",
     "JobResult",
+    "ManualClock",
     "PortfolioJob",
+    "RetryPolicy",
     "SchedulingPolicy",
     "SubmitTimeout",
+    "TimerThread",
+    "WorkerFault",
     "WorkerPool",
     "WorkerStats",
+    "default_chaos_plan",
     "make_job_mix",
     "make_policy",
+    "run_chaos",
     "run_serve_bench",
     "serial_baseline",
 ]

@@ -19,7 +19,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.engine.jobs import Job
 from repro.engine.queue import BoundedJobQueue
@@ -32,9 +32,17 @@ _batch_ids_lock = threading.Lock()
 
 @dataclass
 class Batch:
-    """One coalesced device transaction."""
+    """One coalesced device transaction.
+
+    ``attempt`` counts dispatches of this job set (1 = first try;
+    retries of a failed attempt re-batch with ``attempt + 1``), and
+    ``avoid`` names workers a retry must steer away from (the ones
+    that already failed it).
+    """
 
     jobs: list[Job]
+    attempt: int = 1
+    avoid: frozenset[str] = frozenset()
     batch_id: int = field(
         default_factory=lambda: _next_batch_id(), init=False
     )
@@ -72,7 +80,13 @@ class Batcher:
         one-job-per-transaction baseline).
     linger_s:
         After a partial drain, wait up to this long for more compatible
-        jobs before dispatching (0 disables lingering).
+        jobs before dispatching (0 disables lingering).  A lingering
+        batch never waits past the earliest deadline of the jobs it
+        already holds.
+    on_expired:
+        Called (from the dispatcher thread) with each job whose
+        deadline passed while it waited in the queue; expired jobs are
+        shed here instead of occupying a batch slot and device time.
     """
 
     def __init__(
@@ -80,6 +94,7 @@ class Batcher:
         queue: BoundedJobQueue,
         max_batch: int = 8,
         linger_s: float = 0.0,
+        on_expired: Callable[[Job], None] | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -88,6 +103,7 @@ class Batcher:
         self.queue = queue
         self.max_batch = max_batch
         self.linger_s = linger_s
+        self.on_expired = on_expired
         self.tracer = None
         self._track = None
 
@@ -98,19 +114,43 @@ class Batcher:
         self.tracer = tracer
         self._track = tracer.track(process, thread) if tracer.enabled else None
 
+    def _drop_expired(self, jobs: list[Job]) -> list[Job]:
+        """Shed deadline-expired jobs; return the still-live ones."""
+        now = time.monotonic()
+        live = []
+        for job in jobs:
+            if job.expired(now):
+                if self.on_expired is not None:
+                    self.on_expired(job)
+            else:
+                live.append(job)
+        return live
+
     def next_batch(self, timeout: float | None = 0.1) -> Batch | None:
         """The next coalesced batch, or None when nothing is available.
 
-        Returns None both on a timeout with an empty queue and once the
-        queue is closed and fully drained (the shutdown signal the
-        dispatcher loop watches for).
+        Returns None on a timeout with an empty queue, once the queue
+        is closed and fully drained (the shutdown signal the dispatcher
+        loop watches for), and when everything drained this round had
+        already expired (the jobs are shed via ``on_expired`` rather
+        than occupying batch slots).
         """
         jobs = self.queue.get_batch(self.max_batch, timeout=timeout)
+        if not jobs:
+            return None
+        jobs = self._drop_expired(jobs)
         if not jobs:
             return None
         if self.linger_s > 0 and len(jobs) < self.max_batch:
             key = jobs[0].batch_key()
             deadline = time.monotonic() + self.linger_s
+            # lingering must not push the jobs already on board past
+            # their own deadlines
+            job_deadlines = [
+                j.deadline_at for j in jobs if j.deadline_at is not None
+            ]
+            if job_deadlines:
+                deadline = min(deadline, min(job_deadlines))
             while len(jobs) < self.max_batch:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -120,7 +160,7 @@ class Batcher:
                 )
                 if not more:
                     break
-                jobs.extend(more)
+                jobs.extend(self._drop_expired(more))
         batch = Batch(jobs=jobs)
         if self._track is not None:
             self.tracer.instant(

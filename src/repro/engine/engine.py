@@ -46,6 +46,13 @@ from repro.engine.queue import (
     JobQueueFull,
     SubmitTimeout,
 )
+from repro.engine.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    JobDeadlineExceeded,
+    RetryPolicy,
+    TimerThread,
+)
 from repro.engine.stats import EngineStats, JobRecord, WorkerStats, summarize
 from repro.obs import MetricsRegistry, get_tracer
 
@@ -121,6 +128,23 @@ class ExecutionEngine:
         global tracer at construction.  When enabled, the pipeline
         emits enqueue→batch→dispatch→complete spans plus shed and
         occupancy events; disabled keeps every hot path event-free.
+    retry:
+        :class:`~repro.engine.resilience.RetryPolicy` for retryable
+        (worker-level) failures; ``None`` uses the default policy.
+        ``RetryPolicy(max_attempts=1)`` disables retries.
+    faults:
+        Optional :class:`~repro.engine.resilience.FaultPlan` threaded
+        through every managed worker's ``execute`` for reproducible
+        chaos runs; released automatically at shutdown.
+    default_deadline_s:
+        End-to-end deadline applied to jobs that don't carry their own
+        ``deadline_s``; ``None`` (default) leaves such jobs unbounded.
+    breakers:
+        ``True`` (default) builds one circuit breaker per worker —
+        tuned by ``breaker_config`` kwargs for
+        :class:`~repro.engine.resilience.CircuitBreaker` — ``False``
+        disables them, and a ``{worker_name: CircuitBreaker}`` dict
+        supplies pre-built ones (e.g. with a manual clock in tests).
 
     Attributes
     ----------
@@ -144,11 +168,18 @@ class ExecutionEngine:
         batch_linger_s: float = 0.0,
         workers: Sequence[DeviceWorker] | None = None,
         tracer=None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        default_deadline_s: float | None = None,
+        breakers: bool | dict[str, CircuitBreaker] = True,
+        breaker_config: dict | None = None,
     ):
         if admission not in ("block", "shed"):
             raise ValueError(
                 f"admission must be 'block' or 'shed', got {admission!r}"
             )
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
         if workers is None:
             if n_workers < 1:
                 raise ValueError("need at least one worker")
@@ -158,23 +189,40 @@ class ExecutionEngine:
             ]
         self.admission = admission
         self.submit_timeout_s = submit_timeout_s
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.fault_plan = faults
+        self.default_deadline_s = default_deadline_s
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = MetricsRegistry(prefix="engine.")
         self.queue = BoundedJobQueue(depth=queue_depth, name="engine_admission")
         self.queue.attach_tracer(self.tracer)
         self.batcher = Batcher(
-            self.queue, max_batch=max_batch, linger_s=batch_linger_s
+            self.queue,
+            max_batch=max_batch,
+            linger_s=batch_linger_s,
+            on_expired=self._expire_job,
         )
         self.batcher.attach_tracer(self.tracer)
+        breaker_map = self._build_breakers(list(workers), breakers, breaker_config)
         self.pool = WorkerPool(
-            list(workers), policy=policy, on_batch=self._on_batch
+            list(workers),
+            policy=policy,
+            on_batch=self._on_batch,
+            breakers=breaker_map,
         )
         self.pool.attach_tracer(self.tracer)
         for worker in self.pool.workers:
             if worker.tracer is None:
                 worker.tracer = self.tracer
+            if faults is not None and worker.fault_plan is None:
+                worker.fault_plan = faults
         self._jobs_track = (
             self.tracer.track("engine", "jobs")
+            if self.tracer.enabled
+            else None
+        )
+        self._breaker_track = (
+            self.tracer.track("engine", "breakers")
             if self.tracer.enabled
             else None
         )
@@ -182,11 +230,42 @@ class ExecutionEngine:
         self._records: list[JobRecord] = []
         self._state_lock = threading.Lock()
         self._jobs_shed = 0
+        self._jobs_deadline_shed = 0
+        self._retries = 0
+        self._admitted = 0
+        self._resolved = 0
+        self._attempts: dict[int, int] = {}  # job_id -> dispatch count
+        self._timer = TimerThread()
         self._dispatcher: threading.Thread | None = None
         self._started = False
         self._shut_down = False
         self._started_at: float | None = None
         self._stopped_at: float | None = None
+
+    def _build_breakers(
+        self,
+        workers: list[DeviceWorker],
+        breakers: bool | dict[str, CircuitBreaker],
+        breaker_config: dict | None,
+    ) -> dict[str, CircuitBreaker]:
+        """One breaker per worker, wired into metrics and the trace."""
+        if breakers is False:
+            return {}
+        if breakers is True:
+            built = {
+                w.name: CircuitBreaker(**(breaker_config or {}))
+                for w in workers
+            }
+        else:
+            built = dict(breakers)
+        for name, breaker in built.items():
+            if breaker.on_transition is None:
+                breaker.on_transition = (
+                    lambda old, new, _name=name: self._on_breaker_transition(
+                        _name, old, new
+                    )
+                )
+        return built
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -195,6 +274,7 @@ class ExecutionEngine:
             raise RuntimeError("engine already started")
         self._started = True
         self._started_at = time.monotonic()
+        self._timer.start()
         self.pool.start()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-engine-dispatcher",
@@ -215,27 +295,71 @@ class ExecutionEngine:
         """Admit one job through the bounded queue.
 
         Raises the typed backpressure errors: :class:`JobQueueFull`
-        (shed), :class:`SubmitTimeout` (blocked too long) or
-        :class:`JobQueueClosed` (after shutdown began).
+        (shed), :class:`SubmitTimeout` (blocked too long),
+        :class:`JobQueueClosed` (after shutdown began) or
+        :class:`JobDeadlineExceeded` (the job's deadline expired while
+        admission was blocked).
+
+        The job's deadline — its own ``deadline_s`` or the engine's
+        ``default_deadline_s`` — is stamped as an absolute monotonic
+        instant here and enforced end-to-end: blocking admission never
+        outlasts it, the batcher sheds expired jobs instead of batching
+        them, workers skip them instead of computing them, and a
+        watchdog resolves the handle the moment it passes even if the
+        job is stuck on a wedged worker.
         """
         if not self._started:
             raise RuntimeError("engine not started (use start() or `with`)")
         handle = JobHandle(job)
+        deadline_s = (
+            job.deadline_s
+            if job.deadline_s is not None
+            else self.default_deadline_s
+        )
+        if deadline_s is not None:
+            job.deadline_s = deadline_s
+            job.deadline_at = handle.submitted_at + deadline_s
         with self._state_lock:
             self._handles[job.job_id] = handle
+        timeout = self.submit_timeout_s
+        if job.deadline_at is not None:
+            remaining = job.deadline_at - time.monotonic()
+            timeout = remaining if timeout is None else min(timeout, remaining)
         try:
+            if timeout is not None and timeout <= 0:
+                raise SubmitTimeout(
+                    f"job {job.job_id} deadline expired before admission"
+                )
             self.queue.put(
                 job,
                 block=self.admission == "block",
-                timeout=self.submit_timeout_s,
+                timeout=timeout,
             )
-        except EngineError:
+        except EngineError as exc:
             with self._state_lock:
                 self._handles.pop(job.job_id, None)
+            if isinstance(exc, SubmitTimeout) and job.expired():
+                # the deadline, not the submit timeout, was binding
+                with self._state_lock:
+                    self._jobs_deadline_shed += 1
+                self.metrics.counter("jobs_deadline_shed").inc()
+                raise JobDeadlineExceeded(
+                    f"job {job.job_id} missed its {deadline_s:.3f}s "
+                    "deadline while blocked in admission"
+                ) from exc
+            with self._state_lock:
                 self._jobs_shed += 1
             self.metrics.counter("jobs_shed").inc()
             raise
+        with self._state_lock:
+            self._admitted += 1
         self.metrics.counter("jobs_submitted").inc()
+        if job.deadline_at is not None:
+            # watchdog: resolve the handle the instant the deadline
+            # passes, wherever the job is stuck (queue, batch, worker)
+            self._timer.schedule(
+                job.deadline_at, lambda: self._expire_job(job)
+            )
         return handle
 
     def run(
@@ -248,9 +372,18 @@ class ExecutionEngine:
     # -- shutdown ----------------------------------------------------------------
 
     def drain(self, timeout: float | None = 60.0) -> bool:
-        """Wait until everything admitted so far has completed."""
+        """Wait until everything admitted so far has *resolved*.
+
+        Resolution counts results, typed errors, deadline sheds and
+        abandoned handles alike — pending retries included — so this is
+        the "no caller is still blocked on a handle" condition, not
+        merely "the queue is empty".
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        while len(self.queue):
+        while True:
+            with self._state_lock:
+                if self._resolved >= self._admitted:
+                    break
             if deadline is not None and time.monotonic() > deadline:
                 return False
             time.sleep(0.002)
@@ -265,11 +398,19 @@ class ExecutionEngine:
         With ``drain=True`` (graceful) every admitted job completes and
         its handle resolves.  With ``drain=False`` pending jobs are
         abandoned: their handles fail with :class:`JobQueueClosed`.
+        Either way the shutdown is *total*: the fault plan's wedges are
+        released, the timer thread stops, and any handle still pending
+        after the workers stop — a retry that never got its re-dispatch,
+        a batch stuck on a wedged device — resolves with
+        :class:`JobQueueClosed` rather than hanging its waiter.
         """
         if self._shut_down:
             return
         self._shut_down = True
         self.queue.close()
+        if self.fault_plan is not None:
+            # end current and future wedges so drain terminates promptly
+            self.fault_plan.release()
         if not self._started:
             return
         if drain:
@@ -283,7 +424,8 @@ class ExecutionEngine:
                     with self._state_lock:
                         handle = self._handles.pop(job.job_id, None)
                     if handle is not None:
-                        handle._fulfill(
+                        self._finish(
+                            handle,
                             None,
                             JobQueueClosed(
                                 f"job {job.job_id} abandoned by "
@@ -291,12 +433,119 @@ class ExecutionEngine:
                             ),
                         )
             self.pool.wait_idle(timeout)
+        self._timer.stop()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
         self.pool.stop(timeout)
+        # nothing may hang past shutdown: any handle still tracked
+        # (cancelled retry, batch lost on a stopped/wedged worker)
+        # resolves with the typed closed error
+        with self._state_lock:
+            leftovers = list(self._handles.values())
+            self._handles.clear()
+        for handle in leftovers:
+            self._finish(
+                handle,
+                None,
+                JobQueueClosed(
+                    f"job {handle.job.job_id} unresolved at engine shutdown"
+                ),
+            )
         self._stopped_at = time.monotonic()
 
     # -- internals ---------------------------------------------------------------
+
+    def _finish(
+        self,
+        handle: JobHandle,
+        result: JobResult | None,
+        error: BaseException | None,
+    ) -> None:
+        """Single funnel for handle resolution (keeps drain accounting)."""
+        handle._fulfill(result, error)
+        with self._state_lock:
+            self._resolved += 1
+            self._attempts.pop(handle.job.job_id, None)
+
+    def _expire_job(self, job: Job) -> None:
+        """Deadline watchdog / batcher shed: fail the handle if pending."""
+        with self._state_lock:
+            handle = self._handles.pop(job.job_id, None)
+        if handle is None:
+            return  # already resolved (or being resolved) elsewhere
+        with self._state_lock:
+            self._jobs_deadline_shed += 1
+        self.metrics.counter("jobs_deadline_shed").inc()
+        if self._jobs_track is not None:
+            self.tracer.instant(
+                self._jobs_track, "deadline_shed",
+                args={"job_id": job.job_id},
+            )
+        self._finish(
+            handle,
+            None,
+            JobDeadlineExceeded(
+                f"job {job.job_id} missed its "
+                f"{(job.deadline_s or 0.0):.3f}s deadline"
+            ),
+        )
+
+    def _on_breaker_transition(self, worker: str, old: str, new: str) -> None:
+        self.metrics.counter("breaker_transitions").inc()
+        self.metrics.counter(f"breaker_to_{new}").inc()
+        if self._breaker_track is not None:
+            self.tracer.instant(
+                self._breaker_track, f"breaker:{worker}",
+                args={"worker": worker, "from": old, "to": new},
+            )
+
+    def _retry_candidate(self, job: Job, error: BaseException) -> bool:
+        """Should this failed job go back out to a different worker?"""
+        if self._shut_down:
+            return False
+        if not self.retry_policy.retryable(error):
+            return False
+        if job.expired():
+            return False
+        with self._state_lock:
+            if job.job_id not in self._handles:
+                return False  # watchdog already resolved it
+            attempts = self._attempts.get(job.job_id, 1)
+        return attempts < self.retry_policy.max_attempts
+
+    def _schedule_retry(self, jobs: list[Job], outcome: BatchOutcome) -> None:
+        """Re-dispatch failed jobs after backoff, avoiding the failed worker."""
+        with self._state_lock:
+            attempt = max(self._attempts.get(j.job_id, 1) for j in jobs) + 1
+            for j in jobs:
+                self._attempts[j.job_id] = attempt
+            self._retries += len(jobs)
+        self.metrics.counter("job_retries").inc(len(jobs))
+        avoid = frozenset(outcome.batch.avoid | {outcome.worker})
+        retry_batch = Batch(jobs=jobs, attempt=attempt, avoid=avoid)
+        delay = self.retry_policy.delay_s(attempt - 1, key=jobs[0].job_id)
+        if self._jobs_track is not None:
+            self.tracer.instant(
+                self._jobs_track, "retry_scheduled",
+                args={
+                    "batch_id": retry_batch.batch_id,
+                    "jobs": len(jobs),
+                    "attempt": attempt,
+                    "delay_ms": round(1e3 * delay, 3),
+                    "avoid": sorted(avoid),
+                },
+            )
+        self._timer.schedule(
+            time.monotonic() + delay,
+            lambda: self._redispatch(retry_batch),
+        )
+
+    def _redispatch(self, batch: Batch) -> None:
+        if self._shut_down:
+            return  # shutdown resolves the leftover handles
+        # bypass the inflight cap: these jobs were admitted (and
+        # counted) once already, and the timer thread must never block
+        self.pool.dispatch(batch, wait_capacity=False)
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -319,15 +568,26 @@ class ExecutionEngine:
             outcome.device_seconds
         )
         overhead_share = max(0.0, fixed_overhead) / outcome.batch.size
+        retry_jobs: list[Job] = []
         for job, payload, error, dev_s in zip(
             outcome.batch.jobs,
             outcome.payloads,
             outcome.errors,
             outcome.device_seconds,
         ):
+            if error is not None and self._retry_candidate(job, error):
+                retry_jobs.append(job)
+                continue  # the handle stays pending until the retry lands
             with self._state_lock:
                 handle = self._handles.pop(job.job_id, None)
             if handle is None:
+                continue
+            if error is not None:
+                # terminal failure (exhausted retries or not retryable):
+                # resolve the handle but keep it out of the completion
+                # records — failed jobs are not throughput
+                self.metrics.counter("jobs_failed").inc()
+                self._finish(handle, None, error)
                 continue
             queue_wait = (
                 (handle.picked_up_at or now) - handle.submitted_at
@@ -371,9 +631,13 @@ class ExecutionEngine:
                         "queue_wait_ms": round(1e3 * queue_wait, 3),
                     },
                 )
-            handle._fulfill(None if error is not None else result, error)
+            self._finish(handle, result, None)
         self.metrics.counter("batches").inc()
         self.metrics.histogram("batch_occupancy").observe(outcome.batch.size)
+        if outcome.worker_fault is not None:
+            self.metrics.counter("worker_faults").inc()
+        if retry_jobs:
+            self._schedule_retry(retry_jobs, outcome)
 
     # -- reporting ---------------------------------------------------------------
 
@@ -382,6 +646,8 @@ class ExecutionEngine:
         with self._state_lock:
             records = list(self._records)
             shed = self._jobs_shed
+            deadline_shed = self._jobs_deadline_shed
+            retries = self._retries
         batch_sizes: dict[int, int] = {}
         for r in records:
             batch_sizes[r.batch_id] = r.batch_size
@@ -413,6 +679,17 @@ class ExecutionEngine:
             modeled_makespan_s=max(busy, default=0.0),
             modeled_device_seconds=sum(busy),
             queue=self.queue.stats,
+            jobs_deadline_shed=deadline_shed,
+            retries=retries,
+            breakers={
+                name: breaker.snapshot()
+                for name, breaker in self.pool.breakers.items()
+            },
+            faults_injected=(
+                dict(self.fault_plan.injected)
+                if self.fault_plan is not None
+                else {}
+            ),
             workers=workers,
             records=records,
         )

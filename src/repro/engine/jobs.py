@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -53,12 +54,31 @@ class Job:
 
     Subclasses define the payload.  ``job_id`` is assigned automatically
     and unique per process; ``seed`` fully determines :meth:`compute`.
+
+    ``deadline_s`` is the job's end-to-end latency budget, measured
+    from admission: once it elapses the job is shed with the typed
+    :class:`repro.engine.resilience.JobDeadlineExceeded` wherever it
+    happens to be — waiting in the queue, lingering in a partial batch,
+    or dispatched to a wedged worker — instead of occupying capacity.
+    ``None`` (the default) means no deadline.  The engine stamps the
+    absolute ``deadline_at`` (monotonic seconds) at admission; every
+    later stage compares against that single value, so the budget never
+    resets as the job moves through the pipeline.
     """
 
     seed: int = 7
+    deadline_s: float | None = None
     job_id: int = field(default_factory=_next_job_id, init=False)
+    #: absolute monotonic deadline, stamped by the engine at admission
+    deadline_at: float | None = field(default=None, init=False, compare=False)
 
     # -- engine contract -----------------------------------------------------------
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the admission-stamped deadline has passed."""
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
 
     def batch_key(self) -> Hashable:
         """Coalescing key: equal keys may share one device batch."""

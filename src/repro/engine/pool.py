@@ -37,6 +37,7 @@ from typing import Any, Callable
 from repro.devices import FixedArchitectureModel, FpgaModel
 from repro.engine.batcher import Batch
 from repro.engine.jobs import Job
+from repro.engine.resilience import CircuitBreaker, JobDeadlineExceeded
 from repro.harness.configs import CONFIGURATIONS, Configuration
 from repro.harness.session import KernelSession
 from repro.obs import get_tracer
@@ -62,6 +63,9 @@ class BatchOutcome:
     device_seconds: list[float]  # modeled per-job kernel time
     batch_device_seconds: float  # modeled timeline advance of the batch
     service_wall_s: float  # host wall time inside the worker
+    #: set when the *worker* (not a job) failed the attempt — the
+    #: retryable family the circuit breaker counts
+    worker_fault: BaseException | None = None
 
 
 class DeviceWorker:
@@ -93,6 +97,9 @@ class DeviceWorker:
         #: explicit tracer override; None resolves the global tracer at
         #: execute() time (so `--trace` reaches pre-built workers too)
         self.tracer = None
+        #: optional :class:`repro.engine.resilience.FaultPlan`; the
+        #: engine wires its plan into every worker it manages
+        self.fault_plan = None
 
     # -- modeled timeline --------------------------------------------------------
 
@@ -109,13 +116,45 @@ class DeviceWorker:
     # -- execution ---------------------------------------------------------------
 
     def execute(self, batch: Batch) -> BatchOutcome:
-        """Run one batch: compute payloads, advance the device timeline."""
+        """Run one batch: compute payloads, advance the device timeline.
+
+        Raises :class:`~repro.engine.resilience.WorkerFault` (via the
+        fault plan) when the *worker* fails the whole attempt; job-level
+        failures and per-job deadline misses stay isolated in the
+        outcome's ``errors``.
+        """
         tracer = self.tracer if self.tracer is not None else get_tracer()
         wall0 = time.monotonic()
+        if self.fault_plan is not None:
+            # may raise InjectedFault (fail/kill), sleep (latency) or
+            # hang until released/expired (wedge)
+            self.fault_plan.before_batch(self.name, batch, self.batches_done)
         payloads: list[Any] = []
         errors: list[BaseException | None] = []
         device_seconds: list[float] = []
         for job in batch.jobs:
+            if job.expired():
+                # the deadline passed between dispatch and device
+                # execution: shed instead of burning device time
+                payloads.append(None)
+                device_seconds.append(0.0)
+                errors.append(
+                    JobDeadlineExceeded(
+                        f"job {job.job_id} expired before device "
+                        f"execution on worker {self.name!r}"
+                    )
+                )
+                continue
+            injected = (
+                None
+                if self.fault_plan is None
+                else self.fault_plan.job_fault(self.name, job)
+            )
+            if injected is not None:
+                payloads.append(None)
+                device_seconds.append(0.0)
+                errors.append(injected)
+                continue
             try:
                 payloads.append(job.compute())
                 device_seconds.append(job.device_seconds(self.model))
@@ -157,7 +196,11 @@ class DeviceWorker:
                 f"batch{batch.batch_id}",
                 ts_us=tracer.wall_us(wall0),
                 dur_us=(time.monotonic() - wall0) * 1e6,
-                args={"jobs": batch.size, "key": str(batch.key)},
+                args={
+                    "jobs": batch.size,
+                    "key": str(batch.key),
+                    "attempt": batch.attempt,
+                },
             )
         return BatchOutcome(
             batch=batch,
@@ -258,6 +301,14 @@ class WorkerPool:
         Cap on dispatched-but-unfinished batches; :meth:`dispatch`
         blocks at the cap, propagating backpressure to the admission
         queue instead of buffering unboundedly (default: 2 per worker).
+    breakers:
+        Optional per-worker :class:`repro.engine.resilience.CircuitBreaker`
+        map.  When present, every policy consults it: dispatch places
+        batches only on workers whose breaker admits them (``fifo``
+        workers additionally self-gate at shared-queue pickup), worker
+        faults are recorded as failures, successful batches as
+        successes.  A batch with no admitting worker waits in the
+        shared queue until a breaker half-opens.
     """
 
     def __init__(
@@ -266,6 +317,7 @@ class WorkerPool:
         policy: str | SchedulingPolicy = "fifo",
         on_batch: Callable[[BatchOutcome], None] | None = None,
         max_inflight: int | None = None,
+        breakers: dict[str, CircuitBreaker] | None = None,
     ):
         if not workers:
             raise ValueError("pool needs at least one worker")
@@ -280,6 +332,13 @@ class WorkerPool:
         )
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if breakers is not None:
+            unknown = set(breakers) - {w.name for w in workers}
+            if unknown:
+                raise ValueError(
+                    f"breakers for unknown workers: {sorted(unknown)}"
+                )
+        self.breakers = breakers or {}
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._shared: deque[Batch] = deque()
@@ -319,20 +378,52 @@ class WorkerPool:
             self._threads.append(t)
             t.start()
 
-    def dispatch(self, batch: Batch) -> None:
+    def _admitting(self, worker: DeviceWorker) -> bool:
+        breaker = self.breakers.get(worker.name)
+        return breaker is None or breaker.can_admit()
+
+    def _select_target(self, batch: Batch) -> DeviceWorker | None:
+        """Pick the batch's worker, consulting avoid-set and breakers.
+
+        Retries (``batch.avoid`` non-empty) go least-loaded among the
+        admitting non-avoided workers — the whole point is a *different*
+        device.  If every worker's breaker refuses, the batch falls to
+        the shared queue, where workers self-gate and the first breaker
+        to half-open picks it up as a probe.
+        """
+        candidates = [w for w in self.workers if w.name not in batch.avoid]
+        if not candidates:  # every worker already failed it: relax avoid
+            candidates = self.workers
+        admitting = [w for w in candidates if self._admitting(w)]
+        if not admitting:
+            return None
+        if batch.avoid:
+            return min(
+                admitting,
+                key=lambda w: w.device_busy_s + self._pending_seconds[w.name],
+            )
+        return self.policy.select(
+            batch, admitting, dict(self._pending_seconds)
+        )
+
+    def dispatch(self, batch: Batch, wait_capacity: bool = True) -> None:
         """Hand a batch to the policy-selected inbox.
 
         Blocks while ``max_inflight`` batches are outstanding — the
         pool-side half of the backpressure chain (worker slots fill →
         dispatch stalls → admission queue fills → submitters stall or
-        shed).
+        shed).  Retry re-dispatches pass ``wait_capacity=False``: the
+        jobs were already admitted once and counted against the cap,
+        and the retry path must never block the timer thread.
         """
         with self._lock:
-            while self._inflight >= self.max_inflight and not self._stopping:
+            while (
+                wait_capacity
+                and self._inflight >= self.max_inflight
+                and not self._stopping
+            ):
                 self._idle.wait(0.5)
-            target = self.policy.select(
-                batch, self.workers, dict(self._pending_seconds)
-            )
+            target = self._select_target(batch)
             if target is None:
                 self._shared.append(batch)
             else:
@@ -348,6 +439,7 @@ class WorkerPool:
                 args={
                     "batch_id": batch.batch_id,
                     "size": batch.size,
+                    "attempt": batch.attempt,
                     "target": target.name if target is not None else "shared",
                 },
             )
@@ -376,13 +468,21 @@ class WorkerPool:
     # -- worker loop -------------------------------------------------------------
 
     def _take(self, worker: DeviceWorker) -> Batch | None:
-        """Next batch for this worker: private inbox first, then shared."""
+        """Next batch for this worker: private inbox first, then shared.
+
+        Shared-queue pickup is breaker-gated: an open breaker keeps
+        this worker from taking batches (they wait for another worker
+        or for this breaker's cooldown), and a half-open one admits
+        only its probe quota — the ``fifo`` policy's consultation of
+        the breaker.
+        """
+        breaker = self.breakers.get(worker.name)
         with self._work_ready:
             while True:
                 private = self._private[worker.name]
                 if private:
                     return private.popleft()
-                if self._shared:
+                if self._shared and (breaker is None or breaker.admit()):
                     return self._shared.popleft()
                 if self._stopping:
                     return None
@@ -404,7 +504,14 @@ class WorkerPool:
                     device_seconds=[0.0] * batch.size,
                     batch_device_seconds=0.0,
                     service_wall_s=0.0,
+                    worker_fault=exc,
                 )
+            breaker = self.breakers.get(worker.name)
+            if breaker is not None:
+                if outcome.worker_fault is not None:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
             if self.on_batch is not None:
                 self.on_batch(outcome)
             with self._idle:

@@ -155,7 +155,14 @@ class BoundedJobQueue:
                 deadline = (
                     None if timeout is None else time.monotonic() + timeout
                 )
-                while len(self._fifo) >= self.depth and not self._closed:
+                while len(self._fifo) >= self.depth:
+                    # closed wins over an expired timeout: a submitter
+                    # racing shutdown sees JobQueueClosed, never a
+                    # SubmitTimeout that misreports the queue's state
+                    if self._closed:
+                        raise JobQueueClosed(
+                            f"queue {self.name!r} is closed"
+                        )
                     remaining = (
                         None if deadline is None else deadline - time.monotonic()
                     )
@@ -175,7 +182,13 @@ class BoundedJobQueue:
             self._not_empty.notify()
 
     def close(self) -> None:
-        """Stop admitting; pending jobs remain readable (graceful drain)."""
+        """Stop admitting; pending jobs remain readable (graceful drain).
+
+        Both conditions are notified so that producers blocked in
+        :meth:`put` raise :class:`JobQueueClosed` promptly and
+        consumers blocked in :meth:`get_batch`/:meth:`get_matching`
+        return immediately — nobody hangs until their timeout.
+        """
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()
@@ -207,7 +220,21 @@ class BoundedJobQueue:
                 if self._closed:
                     return []
                 self.read_stalls += 1
-                self._not_empty.wait(timeout)
+                # monotonic deadline (the same pattern as put): each
+                # spurious or irrelevant wakeup resumes the *remaining*
+                # wait instead of restarting the full timeout, and an
+                # early wakeup with nothing available keeps waiting
+                # instead of returning a premature empty poll
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while not self._fifo and not self._closed:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return []
+                    self._not_empty.wait(remaining)
                 if not self._fifo:
                     return []
             head = self._fifo.popleft()
@@ -247,8 +274,21 @@ class BoundedJobQueue:
             matched = self._take_matching(key, max_size)
             if not matched and not self._closed:
                 self.read_stalls += 1
-                self._not_empty.wait(timeout)
-                matched = self._take_matching(key, max_size)
+                # monotonic-deadline retry loop: wakeups for
+                # non-matching jobs (or spurious ones) resume the
+                # remaining wait rather than restarting the timeout or
+                # giving up early with a premature empty result
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while not matched and not self._closed:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+                    matched = self._take_matching(key, max_size)
             if matched:
                 self.total_reads += len(matched)
                 self._emit_occupancy()

@@ -65,6 +65,10 @@ class EngineStats:
     modeled_makespan_s: float  # busiest worker's simulated timeline
     modeled_device_seconds: float  # summed over all workers
     queue: FifoStats
+    jobs_deadline_shed: int = 0  # handles failed with JobDeadlineExceeded
+    retries: int = 0  # job re-dispatches after worker faults
+    breakers: dict = field(default_factory=dict)  # worker -> breaker snapshot
+    faults_injected: dict = field(default_factory=dict)  # mode -> count
     workers: list[WorkerStats] = field(default_factory=list)
     records: list[JobRecord] = field(default_factory=list)
 
@@ -103,6 +107,10 @@ class EngineStats:
             "wall_throughput_jps": self.wall_throughput_jps,
             "modeled_throughput_jps": self.modeled_throughput_jps,
             "queue": self.queue.to_dict(),
+            "jobs_deadline_shed": self.jobs_deadline_shed,
+            "retries": self.retries,
+            "breakers": {name: dict(snap) for name, snap in self.breakers.items()},
+            "faults_injected": dict(self.faults_injected),
             "workers": [asdict(w) for w in self.workers],
         }
         if include_records:
@@ -126,6 +134,27 @@ class EngineStats:
             f"modeled: makespan {1e3 * self.modeled_makespan_s:.2f} ms, "
             f"throughput {self.modeled_throughput_jps:.1f} jobs/s",
         ]
+        if self.jobs_deadline_shed or self.retries or self.faults_injected:
+            faults = (
+                ", ".join(
+                    f"{mode} x{count}"
+                    for mode, count in sorted(self.faults_injected.items())
+                )
+                or "none"
+            )
+            lines.append(
+                f"resilience: {self.jobs_deadline_shed} deadline shed, "
+                f"{self.retries} retries, faults injected: {faults}"
+            )
+        for name, snap in sorted(self.breakers.items()):
+            if not snap.get("transitions"):
+                continue
+            lines.append(
+                f"  breaker {name}: {snap.get('state')}, "
+                f"opened {snap.get('times_opened', 0)}x, "
+                f"{snap.get('failures', 0)} failures / "
+                f"{snap.get('successes', 0)} successes"
+            )
         for w in self.workers:
             lines.append(
                 f"  worker {w.name} [{w.device}]: {w.jobs} jobs in "

@@ -36,6 +36,12 @@ registry.register_lazy(
     "repro.engine.bench:run_serve_bench",
     "execution-engine throughput vs serial execution",
 )
+registry.register_lazy(
+    "chaos",
+    "repro.engine.bench:run_chaos",
+    "engine resilience under a seeded fault plan "
+    "(deadlines, retries, circuit breakers)",
+)
 
 __all__ = [
     "registry",

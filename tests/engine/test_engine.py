@@ -157,6 +157,36 @@ class TestShutdown:
         eng.shutdown()
         eng.shutdown()
 
+    def test_shutdown_under_load_joins_threads_promptly(self):
+        # shutdown while workers are mid-batch and the queue is full
+        # must complete within a tight bound and leave no engine thread
+        # behind — the hang this guards against is a worker or the
+        # dispatcher waiting on a condition nobody will ever notify
+        import threading
+
+        before = {t.ident for t in threading.enumerate()}
+        eng = ExecutionEngine(n_workers=2, queue_depth=32, max_batch=2).start()
+        handles = [
+            eng.submit(SlowJob(n_samples=32, seed=i)) for i in range(8)
+        ]
+        time.sleep(0.05)  # workers are now genuinely busy
+        t0 = time.monotonic()
+        eng.shutdown(drain=False, timeout=10.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0
+        assert all(h.done for h in handles)  # resolved, not hung
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leftover = [
+                t
+                for t in threading.enumerate()
+                if t.ident not in before and t.is_alive()
+            ]
+            if not leftover:
+                break
+            time.sleep(0.01)
+        assert not leftover, f"engine threads survived shutdown: {leftover}"
+
 
 class TestStatsAndJobs:
     def test_stats_report_shape(self):

@@ -133,6 +133,133 @@ class TestBatchDrain:
         assert q.get_batch(1) == [a]  # untouched, order preserved
 
 
+class TestWaitDeadlines:
+    """Regressions for the timeout-drift family: every blocking wait
+    holds one monotonic deadline across wakeups instead of restarting
+    (or abandoning) its timeout on each one."""
+
+    def test_get_matching_waits_through_non_matching_puts(self):
+        # the old single-wait get_matching returned [] as soon as ANY
+        # put woke it, even one with the wrong key — a reader asking
+        # for key B must keep waiting until B arrives or time runs out
+        q = BoundedJobQueue(depth=8)
+        b = _job(9, variance=0.35)
+        got = []
+
+        def reader():
+            got.extend(q.get_matching(b.batch_key(), max_size=1, timeout=2.0))
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        q.put(_job(1, variance=1.39))  # wrong key: wakes, must not satisfy
+        time.sleep(0.05)
+        assert t.is_alive()  # still waiting, not returned-empty
+        q.put(b)
+        t.join(2.0)
+        assert got == [b]
+
+    def test_get_batch_survives_spurious_wakeup(self):
+        q = BoundedJobQueue(depth=4)
+        job = _job()
+        got = []
+
+        def reader():
+            got.extend(q.get_batch(1, timeout=2.0))
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        with q._not_empty:  # spurious wakeup, no data
+            q._not_empty.notify_all()
+        time.sleep(0.05)
+        assert t.is_alive()  # kept waiting instead of returning []
+        q.put(job)
+        t.join(2.0)
+        assert got == [job]
+
+    def test_get_batch_timeout_is_a_deadline_not_a_restart(self):
+        # wakeups must not extend the total wait: hammer the condition
+        # with notifies and check the empty return lands near the
+        # requested timeout, neither early nor drifting late
+        q = BoundedJobQueue(depth=4)
+        stop = threading.Event()
+
+        def poker():
+            while not stop.is_set():
+                with q._not_empty:
+                    q._not_empty.notify_all()
+                time.sleep(0.005)
+
+        t = threading.Thread(target=poker, daemon=True)
+        t.start()
+        t0 = time.monotonic()
+        assert q.get_batch(1, timeout=0.15) == []
+        elapsed = time.monotonic() - t0
+        stop.set()
+        t.join(2.0)
+        assert 0.13 <= elapsed < 1.0
+
+    def test_put_prefers_closed_over_timeout(self):
+        # when the queue closes while a blocked put's timeout is also
+        # expiring, the producer must see the terminal JobQueueClosed
+        # (retrying is pointless), not the transient SubmitTimeout
+        q = BoundedJobQueue(depth=1)
+        q.put(_job(1))
+        errors = []
+
+        def producer():
+            try:
+                q.put(_job(2), block=True, timeout=0.08)
+            except (JobQueueClosed, SubmitTimeout) as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.03)
+        q.close()
+        t.join(2.0)
+        assert len(errors) == 1
+        assert isinstance(errors[0], JobQueueClosed)
+
+    def test_close_wakes_both_producers_and_consumers(self):
+        # a producer blocked on a full queue (waits on not_full) and a
+        # consumer blocked on a key that never arrives (waits on
+        # not_empty) must BOTH wake promptly when close() fires — it
+        # has to notify both conditions
+        q = BoundedJobQueue(depth=1)
+        q.put(_job(1, variance=1.39))
+        absent_key = _job(9, variance=0.35).batch_key()
+        outcomes = []
+
+        def producer():
+            try:
+                q.put(_job(2), block=True, timeout=10.0)
+            except JobQueueClosed:
+                outcomes.append("producer-closed")
+
+        def consumer():
+            outcomes.append(
+                ("consumer", q.get_matching(absent_key, 1, timeout=10.0))
+            )
+
+        threads = [
+            threading.Thread(target=producer, daemon=True),
+            threading.Thread(target=consumer, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        q.close()
+        t0 = time.monotonic()
+        for t in threads:
+            t.join(2.0)
+        assert time.monotonic() - t0 < 1.0  # woken by close, not timeout
+        assert not any(t.is_alive() for t in threads)
+        assert "producer-closed" in outcomes
+        assert ("consumer", []) in outcomes
+
+
 class TestSharedFifoAccounting:
     """The queue reports the same FifoStats vocabulary as core Stream."""
 
