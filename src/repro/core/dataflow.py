@@ -16,6 +16,15 @@ producer-consumer pair."  This module models that region:
   ticked once per cycle after the processes,
 * deadlock (no process progresses, none done) raises with a full state
   dump instead of hanging.
+
+Untraced runs additionally use a **cycle-skipping fast path**: after a
+cycle in which no process progressed, the region asks every live
+process and channel for a :meth:`~repro.core.process.Process.next_event`
+hint and, when all agree the window is dead, jumps straight to the
+earliest event while bulk-crediting the identical cycle accounting
+(``docs/simulator_fastpath.md``).  Instrumented runs (tracer or
+explicit attribution) always take the reference one-cycle-at-a-time
+loop so traces stay exact.
 """
 
 from __future__ import annotations
@@ -39,6 +48,42 @@ class DataflowError(ValueError):
 
 class DeadlockError(RuntimeError):
     """The region stopped making progress before all processes finished."""
+
+
+#: Deprecated alias key for the first memory channel's stats (see
+#: :class:`_ProcessStatsMap`).
+LEGACY_CHANNEL_KEY = "__memory_channel__"
+
+
+class _ProcessStatsMap(dict):
+    """``RegionReport.process_stats`` mapping with a legacy alias.
+
+    Channel stats live under indexed keys (``__memory_channel_0__``,
+    ``__memory_channel_1__``, …).  The pre-multi-channel key
+    ``__memory_channel__`` still *resolves* — to channel 0 — for old
+    callers, but it is not stored: iteration, ``len`` and equality see
+    each :class:`~repro.core.memory.ChannelStats` exactly once, so
+    aggregations over ``process_stats.values()`` no longer double-count
+    the first channel.
+    """
+
+    def __missing__(self, key):
+        if key == LEGACY_CHANNEL_KEY:
+            return self["__memory_channel_0__"]
+        raise KeyError(key)
+
+    def __contains__(self, key) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        return key == LEGACY_CHANNEL_KEY and dict.__contains__(
+            self, "__memory_channel_0__"
+        )
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 @dataclass
@@ -70,6 +115,8 @@ class DataflowRegion:
         self._processes: list[Process] = []
         self._memory_channels: list = []
         self._validated = False
+        #: cycles the last (untraced) run jumped over instead of ticking
+        self.skipped_cycles = 0
 
     @property
     def _memory_channel(self):
@@ -147,6 +194,8 @@ class DataflowRegion:
         max_cycles: int = 100_000_000,
         tracer=None,
         attribution: StallAttribution | None = None,
+        *,
+        fast_path: bool | None = None,
     ) -> RegionReport:
         """Run until every process is done; returns the cycle report.
 
@@ -155,11 +204,17 @@ class DataflowRegion:
         tracer:
             Explicit :class:`repro.obs.Tracer`; ``None`` resolves the
             global tracer (:func:`repro.obs.get_tracer`).  A disabled
-            tracer keeps the run on the uninstrumented fast path.
+            tracer keeps the run on the uninstrumented path.
         attribution:
             An externally owned :class:`~repro.obs.StallAttribution`
             (``trace_region`` passes one with lane capture); forces the
             instrumented path regardless of the tracer.
+        fast_path:
+            Enable the cycle-skipping fast path (default: on for
+            untraced runs).  ``False`` forces the reference
+            one-cycle-at-a-time loop — the differential-equivalence
+            suite runs both and asserts identical reports.  Instrumented
+            runs always use the reference loop regardless.
 
         Raises
         ------
@@ -176,28 +231,73 @@ class DataflowRegion:
                 tracer = get_tracer()
             if tracer.enabled:
                 attribution = StallAttribution(self.name, tracer=tracer)
+        self.skipped_cycles = 0
         if attribution is not None:
+            # exact per-cycle traces: always the reference loop
             return self._run_instrumented(ordered, max_cycles, attribution)
+        fast = True if fast_path is None else fast_path
         cycle = 0
-        while True:
-            live = [p for p in ordered if not p.done()]
-            if not live:
-                break
+        live = [p for p in ordered if not p.done()]
+        while live:
             if cycle >= max_cycles:
                 raise RuntimeError(
                     f"region {self.name!r} exceeded {max_cycles} cycles"
                 )
-            progressed = False
+            proc_progress = False
             for proc in live:
                 if proc.tick(cycle):
-                    progressed = True
+                    proc_progress = True
+            progressed = proc_progress
             for channel in self._memory_channels:
                 if channel.tick(cycle):
                     progressed = True
             if not progressed:
                 raise DeadlockError(self._deadlock_message(cycle))
             cycle += 1
+            live = [p for p in live if not p.done()]  # done() is monotone
+            # probe for a dead window only after a cycle in which every
+            # process stalled (channel-only progress) — active phases pay
+            # one boolean per cycle, nothing more
+            if fast and live and not proc_progress:
+                span = self._skip_window(live, cycle)
+                if span > max_cycles - cycle:
+                    span = max_cycles - cycle  # stop exactly at the guard
+                if span >= 2:
+                    for proc in live:
+                        proc.skip_cycles(cycle, span)
+                    for channel in self._memory_channels:
+                        channel.skip_cycles(cycle, span)
+                    self.skipped_cycles += span
+                    cycle += span
         return self._report(cycle)
+
+    def _skip_window(self, live: list[Process], cycle: int) -> int:
+        """Length of the provably dead window starting at ``cycle``.
+
+        Asks every live process and channel for its
+        :meth:`~repro.core.process.Process.next_event` hint.  Any
+        ``None`` (no guarantee) disables skipping; an all-``inf`` answer
+        means nothing self-times, so the next reference tick must decide
+        (it is the one that can raise :class:`DeadlockError`).  A finite
+        horizon is safe to jump to because within the window every
+        process repeats its current stall/bubble accounting and at most
+        the first channel completion lands — exactly at ``horizon - 1``,
+        observed at ``horizon``.
+        """
+        horizon: float = float("inf")
+        for proc in live:
+            event = proc.next_event(cycle)
+            if event is None:
+                return 0
+            if event < horizon:
+                horizon = event
+        for channel in self._memory_channels:
+            event = channel.next_event(cycle)
+            if event < horizon:
+                horizon = event
+        if horizon == float("inf"):
+            return 0
+        return int(horizon) - cycle
 
     def _run_instrumented(
         self,
@@ -227,7 +327,9 @@ class DataflowRegion:
             if not live:
                 break
             if cycle >= max_cycles:
-                attribution.close(cycle)
+                # no-arg close: spans end at the last recorded cycle on
+                # every exit path (normal, runaway, deadlock) alike
+                attribution.close()
                 raise RuntimeError(
                     f"region {self.name!r} exceeded {max_cycles} cycles"
                 )
@@ -280,10 +382,10 @@ class DataflowRegion:
                     states[proc.name] = _stall.PIPELINE
             attribution.record_cycle(cycle, states, channels_busy)
             if not progressed:
-                attribution.close(cycle + 1)
+                attribution.close()
                 raise DeadlockError(self._deadlock_message(cycle))
             cycle += 1
-        attribution.close(cycle)
+        attribution.close()
         report = self._report(cycle)
         report.stall_report = attribution.report()
         return report
@@ -313,15 +415,14 @@ class DataflowRegion:
                     "write_stalls": s.write_stalls,
                     "read_stalls": s.read_stalls,
                 }
-        report = RegionReport(
+        stats = _ProcessStatsMap((p.name, p.stats) for p in self._processes)
+        for i, channel in enumerate(self._memory_channels):
+            stats[f"__memory_channel_{i}__"] = channel.stats
+        # the legacy "__memory_channel__" key is a resolve-only alias of
+        # channel 0 (see _ProcessStatsMap) — NOT stored, so iterating
+        # process_stats counts each channel exactly once
+        return RegionReport(
             cycles=cycles,
-            process_stats={p.name: p.stats for p in self._processes},
+            process_stats=stats,
             stream_stats=streams,
         )
-        if self._memory_channels:
-            report.process_stats["__memory_channel__"] = (
-                self._memory_channels[0].stats
-            )
-            for i, channel in enumerate(self._memory_channels):
-                report.process_stats[f"__memory_channel_{i}__"] = channel.stats
-        return report

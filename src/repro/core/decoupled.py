@@ -173,8 +173,16 @@ class DecoupledWorkItems:
             self.kernels.append(kernel)
             self.engines.append(engine)
 
-    def run(self, max_cycles: int = 100_000_000) -> DecoupledResult:
-        report = self.region.run(max_cycles=max_cycles)
+    def run(
+        self,
+        max_cycles: int = 100_000_000,
+        *,
+        fast_path: bool | None = None,
+    ) -> DecoupledResult:
+        """Run the region; ``fast_path`` passes through to
+        :meth:`~repro.core.dataflow.DataflowRegion.run` (``False`` forces
+        the reference one-cycle-at-a-time loop)."""
+        report = self.region.run(max_cycles=max_cycles, fast_path=fast_path)
         return DecoupledResult(
             report=report,
             config=self.config,

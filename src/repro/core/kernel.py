@@ -28,7 +28,7 @@ from functools import lru_cache
 
 from repro.core.delayed_counter import NAIVE_EXIT_II, DelayedCounter
 from repro.core.mt_adapted import AdaptedMT, NaiveGatedMT
-from repro.core.process import Process
+from repro.core.process import NO_SELF_EVENT, Process
 from repro.core.stream import Stream
 from repro.rng.gamma import gamma_attempt, gamma_correct, marsaglia_tsang_constants
 from repro.rng.icdf import IcdfFpga, icdf_cuda_style
@@ -175,6 +175,9 @@ class GammaRNGProcess(Process):
         self.accepts = 0
         self.overrun_iterations = 0
         self.produced: list[float] = []
+        # fast-path hints describe THIS tick implementation; a subclass
+        # overriding tick() falls back to the reference loop
+        self._hintable = type(self).tick is GammaRNGProcess.tick
 
     # -- dataflow wiring -----------------------------------------------------------
 
@@ -188,6 +191,30 @@ class GammaRNGProcess(Process):
         if self._stall_budget > 0:
             return "pipeline"  # II bubble / gated-MT flush cycle
         return None
+
+    # -- cycle-skipping fast path ----------------------------------------------------
+
+    def next_event(self, cycle: int) -> int | float | None:
+        if not self._hintable or self._done:
+            return None
+        if self._pending is not None:
+            if self.sink.full():
+                return NO_SELF_EVENT  # frozen on the blocking write
+            return None  # write lands next tick
+        if self._stall_budget > 0:
+            return cycle + self._stall_budget  # deterministic II/flush bubbles
+        return None
+
+    def skip_cycles(self, cycle: int, count: int) -> None:
+        if self._pending is not None:
+            # blocked write: one failing can_write() poll per cycle
+            self.sink.credit_write_stalls(count, cycle + count - 1)
+            self.stats.cycles += count
+            self.stats.stall_cycles += count
+            return
+        self._stall_budget -= count
+        self.stats.cycles += count
+        self.stats.pipeline_cycles += count
 
     # -- helpers --------------------------------------------------------------------
 
@@ -225,18 +252,18 @@ class GammaRNGProcess(Process):
         # a completed iteration is waiting on a full output stream:
         # the whole pipeline freezes (hls::stream blocking write)
         if self._pending is not None:
-            if not self.sink.can_write():
+            if not self.sink.can_write(cycle):
                 self._account(False)
                 return False  # genuinely blocked; deadlock-detectable
             self.sink.write(self._pending)
             self._pending = None
             return self._account(True)
 
-        # II bubbles / naive-MT flush cycles
+        # II bubbles / naive-MT flush cycles: time passes by design,
+        # not a deadlock — accounted in the dedicated pipeline bucket
         if self._stall_budget > 0:
             self._stall_budget -= 1
-            self._account(False)
-            return True  # time is passing by design, not a deadlock
+            return self._account_bubble()
 
         # MAINLOOP exit condition (evaluated at the top, Listing 2)
         cfg = self.config
@@ -272,7 +299,7 @@ class GammaRNGProcess(Process):
             self.produced.append(value)
             self.outputs_produced += 1
             self._counter.increment()
-            if self.sink.can_write():
+            if self.sink.can_write(cycle):
                 self.sink.write(value)
             else:
                 self._pending = value

@@ -83,6 +83,9 @@ class BurstRequest:
     started_cycle: int | None = None
     completed_cycle: int | None = None
     _remaining: int = field(default=0, repr=False)
+    # absolute completion cycle predicted by MemoryChannel.predict_done
+    # (exact under FIFO arbitration — later submissions queue behind)
+    _predicted_done: int | None = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -166,6 +169,78 @@ class MemoryChannel:
             self._current = None
         return True
 
+    # -- cycle-skipping fast path --------------------------------------------------
+
+    def next_event(self, cycle: int) -> int | float:
+        """First future cycle at which a process could observe a change.
+
+        The only channel state processes poll is ``request.done``, which
+        flips in the tick that drains the last beat and is observed one
+        cycle later — so the event is ``completion + 1`` of whichever
+        burst finishes first.  An idle channel with an empty queue never
+        self-generates an event (``inf``).  Exact because arbitration is
+        FIFO: submissions during a skipped window are impossible (every
+        producer is stalled) and later ones queue behind.
+        """
+        if self._current is not None:
+            # draining burst: completes at cycle + _remaining - 1
+            return cycle + self._current._remaining
+        if self._queue:
+            # grant next tick, drain, observe one cycle after completion
+            return cycle + self.config.burst_cycles(len(self._queue[0].words))
+        return float("inf")
+
+    def predict_done(self, request: BurstRequest, cycle: int) -> int | None:
+        """Absolute cycle in whose tick ``request`` finishes draining.
+
+        Walks the FIFO queue once and caches the (immutable) prediction
+        on every request it passes, so repeated polls are O(1).  Returns
+        None for a request this channel does not hold.
+        """
+        if request._predicted_done is not None:
+            return request._predicted_done
+        prev_end = cycle - 1
+        if self._current is not None:
+            prev_end += self._current._remaining
+            self._current._predicted_done = prev_end
+        for queued in self._queue:
+            prev_end += self.config.burst_cycles(len(queued.words))
+            queued._predicted_done = prev_end
+        return request._predicted_done
+
+    def skip_cycles(self, cycle: int, count: int) -> None:
+        """Advance ``count`` cycles in one step (no new submissions).
+
+        Equivalent to ``count`` calls of :meth:`tick` starting at
+        ``cycle``, in O(completed bursts) instead of O(cycles): grants,
+        beat accounting, burst completions and memory writes land
+        exactly as the reference loop would place them.
+        """
+        at = cycle
+        end = cycle + count
+        while at < end:
+            if self._current is None:
+                if not self._queue:
+                    self.stats.idle_cycles += end - at
+                    return
+                self._current = self._queue.popleft()
+                self._current.started_cycle = at
+                self._current._remaining = self.config.burst_cycles(
+                    len(self._current.words)
+                )
+            step = min(self._current._remaining, end - at)
+            self._current._remaining -= step
+            self.stats.busy_cycles += step
+            at += step
+            if self._current._remaining <= 0:
+                req = self._current
+                req.completed_cycle = at - 1
+                if self.memory is not None:
+                    self.memory.write_burst(req.address, req.words)
+                self.stats.bursts += 1
+                self.stats.words += len(req.words)
+                self._current = None
+
     def __repr__(self) -> str:
         return (
             f"MemoryChannel(queue={len(self._queue)}, "
@@ -192,15 +267,20 @@ class GlobalMemory:
         self.words_written = 0
 
     def write_word(self, address: int, word) -> None:
-        """Store one 512-bit word at a word-aligned address."""
+        """Store one 512-bit word at a word-aligned address.
+
+        The 16-lane split is vectorized: lane ``i`` is bits
+        ``[32*i, 32*i+32)`` of the word, which is exactly its
+        little-endian uint32 serialization.
+        """
         if not 0 <= address < self.size_words:
             raise IndexError(
                 f"word address {address} out of range [0, {self.size_words})"
             )
-        raw = int(word)
         base = address * self.LANES
-        for lane in range(self.LANES):
-            self._data[base + lane] = (raw >> (32 * lane)) & 0xFFFFFFFF
+        self._data[base : base + self.LANES] = np.frombuffer(
+            int(word).to_bytes(4 * self.LANES, "little"), dtype="<u4"
+        )
         self.words_written += 1
 
     def write_burst(self, address: int, words) -> None:

@@ -5,6 +5,13 @@ Each HLS dataflow function (``GammaRNG``, ``Transfer``, …) becomes a
 :class:`~repro.core.dataflow.DataflowRegion`.  A process reports whether
 it made *progress* in a cycle — the region uses this for deadlock
 detection — and whether it has *finished* its program.
+
+Processes may additionally publish a :meth:`Process.next_event` hint
+("no state change before cycle N") that lets the region's
+cycle-skipping fast path jump over deterministic waits — initiation
+interval bubbles, burst-grant waits, drained channels — in one step
+while keeping the cycle accounting identical to the reference
+one-cycle-at-a-time loop (see ``docs/simulator_fastpath.md``).
 """
 
 from __future__ import annotations
@@ -14,16 +21,34 @@ from dataclasses import dataclass, field
 
 from repro.core.stream import Stream
 
-__all__ = ["Process", "ProcessStats"]
+__all__ = ["NO_SELF_EVENT", "Process", "ProcessStats"]
+
+#: :meth:`Process.next_event` return value meaning "my ticks are pure
+#: stall repeats for as long as nothing I observe (streams, channel
+#: requests) changes state" — an unbounded but *conditional* guarantee.
+NO_SELF_EVENT = float("inf")
 
 
 @dataclass
 class ProcessStats:
-    """Per-process cycle accounting, reported by every simulation run."""
+    """Per-process cycle accounting, reported by every simulation run.
+
+    The three cycle buckets are disjoint and sum to ``cycles``:
+
+    * ``active_cycles`` — real work issued (an iteration, a stream
+      write, a burst grant);
+    * ``stall_cycles`` — blocked with no progress: the tick returned
+      False (empty/full stream, waiting on the shared channel);
+    * ``pipeline_cycles`` — initiation-interval bubbles: time passes by
+      design (the tick returns True for deadlock detection) but no work
+      issues.  Matches the ``pipeline`` class of
+      :mod:`repro.obs.stall`.
+    """
 
     cycles: int = 0  # cycles the process was live (not yet done)
     active_cycles: int = 0  # cycles with real work (an iteration issued)
     stall_cycles: int = 0  # cycles spent blocked on a stream or the bus
+    pipeline_cycles: int = 0  # II bubbles: time passing by design
     iterations: int = 0  # loop-body executions issued
     extra: dict = field(default_factory=dict)
 
@@ -39,7 +64,7 @@ class Process(abc.ABC):
     Subclasses implement :meth:`tick`, which advances exactly one clock
     cycle and returns True when the cycle did useful work (False = the
     process stalled).  ``tick`` is never called again once :meth:`done`
-    returns True.
+    returns True.  ``done`` is monotone: once True it stays True.
     """
 
     def __init__(self, name: str):
@@ -74,6 +99,46 @@ class Process(abc.ABC):
         """
         return None
 
+    # -- cycle-skipping fast path hints --------------------------------------------
+
+    def next_event(self, cycle: int) -> int | float | None:
+        """Earliest future cycle at which this process might act.
+
+        The contract powering the region's cycle-skipping fast path:
+
+        * an ``int`` N (``> cycle``) — every tick from ``cycle`` up to
+          (excluding) N is a pure repeat of the current stall/bubble
+          accounting; at N the process may change state (its own timer
+          fires: an II bubble drains, its burst's predicted completion
+          is observed);
+        * :data:`NO_SELF_EVENT` (``inf``) — pure repeats for as long as
+          no stream or channel request this process observes changes
+          state (e.g. blocked on a full/empty FIFO with no own timer);
+        * ``None`` — no guarantee: the next tick may do real work, or
+          the process cannot predict itself.  Disables skipping.
+
+        The default is ``None``, so unknown :class:`Process` subclasses
+        always take the reference one-cycle-at-a-time loop.  A subclass
+        that overrides :meth:`tick` without revisiting this hint must
+        return ``None`` (the built-in implementations guard on the
+        exact ``tick`` identity for this reason).
+        """
+        return None
+
+    def skip_cycles(self, cycle: int, count: int) -> None:
+        """Apply ``count`` cycles of bulk stall accounting.
+
+        Called by the fast path only inside a window validated by
+        :meth:`next_event`; must leave this process (and its streams)
+        in exactly the state ``count`` reference ticks would have.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__}({self.name!r}) advertised a skippable "
+            "window via next_event() but does not implement skip_cycles()"
+        )
+
+    # -- bookkeeping helpers ---------------------------------------------------------
+
     def _account(self, progressed: bool) -> bool:
         """Bookkeeping helper subclasses call at the end of tick()."""
         self.stats.cycles += 1
@@ -82,6 +147,19 @@ class Process(abc.ABC):
         else:
             self.stats.stall_cycles += 1
         return progressed
+
+    def _account_bubble(self) -> bool:
+        """Account one initiation-interval bubble cycle.
+
+        Bubbles are *time passing by design*: no work issues (so the
+        cycle is not active) but the pipeline is not blocked either (so
+        deadlock detection must see progress).  They land in the
+        dedicated ``pipeline_cycles`` bucket and the tick reports
+        progress — one consistent contract for both consumers.
+        """
+        self.stats.cycles += 1
+        self.stats.pipeline_cycles += 1
+        return True
 
     def __repr__(self) -> str:
         state = "done" if self.done() else "running"

@@ -89,6 +89,10 @@ def trace_region(
     every cycle, so the run also yields the full stall report
     (``trace.report.stall_report``) and — when a tracer is active —
     the Chrome trace-event timeline.
+
+    Passing an attribution pins the run to the reference
+    one-cycle-at-a-time loop (the cycle-skipping fast path is never
+    used for instrumented runs), so lanes cover every cycle exactly.
     """
     if tracer is None:
         tracer = get_tracer()

@@ -104,6 +104,9 @@ class Stream:
         self.write_stalls = 0  # producer found the FIFO full
         self.read_stalls = 0  # consumer found the FIFO empty
         self.high_water = 0
+        # last cycle a stall was counted (poll-idempotence stamps)
+        self._last_write_stall_cycle: int | None = None
+        self._last_read_stall_cycle: int | None = None
 
     # -- state ------------------------------------------------------------------
 
@@ -144,19 +147,56 @@ class Stream:
 
     # -- non-blocking poll interface (used by the cycle simulation) ---------------
 
-    def can_write(self) -> bool:
-        """Poll for write availability, counting a stall when full."""
+    def can_write(self, cycle: int | None = None) -> bool:
+        """Poll for write availability, counting a stall when full.
+
+        The stall tallies feed the FIFO-sizing analysis and the stall
+        attribution, both of which consume them as *per-cycle* counts.
+        Passing the current ``cycle`` makes the counter poll-idempotent:
+        a process polling twice in one tick counts a single stalled
+        cycle.  Without a cycle (legacy callers) every failing poll
+        counts, so single-poll discipline is on the caller.
+        """
         if self.full():
-            self.write_stalls += 1
+            if cycle is None or cycle != self._last_write_stall_cycle:
+                self.write_stalls += 1
+                self._last_write_stall_cycle = cycle
             return False
         return True
 
-    def can_read(self) -> bool:
-        """Poll for read availability, counting a stall when empty."""
+    def can_read(self, cycle: int | None = None) -> bool:
+        """Poll for read availability, counting a stall when empty.
+
+        Same poll-idempotence contract as :meth:`can_write`.
+        """
         if self.empty():
-            self.read_stalls += 1
+            if cycle is None or cycle != self._last_read_stall_cycle:
+                self.read_stalls += 1
+                self._last_read_stall_cycle = cycle
             return False
         return True
+
+    # -- bulk stall crediting (cycle-skipping fast path) ---------------------------
+
+    def credit_write_stalls(self, count: int, last_cycle: int | None = None) -> None:
+        """Credit ``count`` write-stalled cycles in one step.
+
+        Used by :class:`~repro.core.dataflow.DataflowRegion`'s fast path
+        when a producer sits blocked on this full FIFO for a known
+        window — equivalent to one failing :meth:`can_write` poll per
+        skipped cycle.  ``last_cycle`` stamps the final skipped cycle so
+        idempotence stays correct across the skip boundary.
+        """
+        self.write_stalls += count
+        if last_cycle is not None:
+            self._last_write_stall_cycle = last_cycle
+
+    def credit_read_stalls(self, count: int, last_cycle: int | None = None) -> None:
+        """Credit ``count`` read-stalled cycles in one step (see
+        :meth:`credit_write_stalls`)."""
+        self.read_stalls += count
+        if last_cycle is not None:
+            self._last_read_stall_cycle = last_cycle
 
     # -- data plane ----------------------------------------------------------------
 

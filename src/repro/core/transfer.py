@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 
 from repro.core.memory import BurstRequest, MemoryChannel
-from repro.core.process import Process
+from repro.core.process import NO_SELF_EVENT, Process
 from repro.core.stream import Stream
 from repro.fixedpoint import FLOATS_PER_WORD, WORD_BITS, float_to_bits
 from repro.fixedpoint.ap_int import ApUInt
@@ -131,6 +131,9 @@ class TransferEngine(Process):
         self._pending: BurstRequest | None = None
         self.dependence_false = dependence_false
         self._pack_stall = 0
+        # fast-path hints describe THIS tick implementation; a subclass
+        # overriding tick() falls back to the reference loop
+        self._hintable = type(self).tick is TransferEngine.tick
 
     def inputs(self) -> tuple[Stream, ...]:
         return (self.source,)
@@ -144,6 +147,39 @@ class TransferEngine(Process):
         if self._pack_stall > 0:
             return "pipeline"  # TLOOP II bubble (DEPENDENCE-false ablation)
         return None
+
+    def next_event(self, cycle: int) -> int | float | None:
+        if not self._hintable:
+            return None
+        if self._state is _State.WAIT_BURST:
+            pending = self._pending
+            if pending is None or pending.done:
+                return None  # grant bookkeeping happens next tick
+            done_cycle = self.channel.predict_done(pending, cycle)
+            if done_cycle is None:
+                return None
+            return done_cycle + 1  # completion observed one cycle later
+        if self._state is _State.PACK:
+            if self._pack_stall > 0:
+                return cycle + self._pack_stall  # deterministic II bubble
+            if self.source.empty():
+                return NO_SELF_EVENT  # starved until the producer acts
+        return None
+
+    def skip_cycles(self, cycle: int, count: int) -> None:
+        if self._state is _State.WAIT_BURST:
+            self.stats.cycles += count
+            self.stats.stall_cycles += count
+            return
+        if self._pack_stall > 0:
+            self._pack_stall -= count
+            self.stats.cycles += count
+            self.stats.pipeline_cycles += count
+            return
+        # starved PACK: one failing can_read() poll per skipped cycle
+        self.source.credit_read_stalls(count, cycle + count - 1)
+        self.stats.cycles += count
+        self.stats.stall_cycles += count
 
     def tick(self, cycle: int) -> bool:
         if self._state is _State.WAIT_BURST:
@@ -162,9 +198,8 @@ class TransferEngine(Process):
         # DEPENDENCE-false pragma; II=2 without it)
         if self._pack_stall > 0:
             self._pack_stall -= 1
-            self._account(False)
-            return True  # II bubble: time passes by design
-        if not self.source.can_read():
+            return self._account_bubble()  # II bubble: time passes by design
+        if not self.source.can_read(cycle):
             return self._account(False)
         value = self.source.read()
         if not self.dependence_false:
@@ -208,6 +243,7 @@ class DummySource(Process):
         self.sink = sink
         self.remaining = count
         self.value = value
+        self._hintable = type(self).tick is DummySource.tick
 
     def outputs(self) -> tuple[Stream, ...]:
         return (self.sink,)
@@ -215,10 +251,23 @@ class DummySource(Process):
     def done(self) -> bool:
         return self.remaining == 0
 
+    def next_event(self, cycle: int) -> int | float | None:
+        if not self._hintable:
+            return None
+        if self.remaining and self.sink.full():
+            return NO_SELF_EVENT  # backpressured until the consumer reads
+        return None
+
+    def skip_cycles(self, cycle: int, count: int) -> None:
+        # blocked on a full sink: one failing can_write() poll per cycle
+        self.sink.credit_write_stalls(count, cycle + count - 1)
+        self.stats.cycles += count
+        self.stats.stall_cycles += count
+
     def tick(self, cycle: int) -> bool:
         if self.remaining == 0:
             return self._account(False)
-        if not self.sink.can_write():
+        if not self.sink.can_write(cycle):
             return self._account(False)
         self.sink.write(self.value)
         self.remaining -= 1

@@ -10,6 +10,8 @@ vectorized numpy views rather than per-element loops.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from repro.fixedpoint.ap_int import ApUInt
@@ -22,13 +24,18 @@ FLOATS_PER_WORD = WORD_BITS // 32
 
 
 def float_to_bits(x: float) -> int:
-    """Reinterpret a float32 as its 32-bit pattern (IEEE 754 bit cast)."""
-    return int(np.float32(x).view(np.uint32))
+    """Reinterpret a float32 as its 32-bit pattern (IEEE 754 bit cast).
+
+    Signaling-NaN payloads are quieted by the double round-trip, as on
+    real conversion hardware; all finite values and infinities cast
+    exactly.
+    """
+    return struct.unpack("<I", struct.pack("<f", x))[0]
 
 
 def bits_to_float(bits: int) -> float:
     """Reinterpret a 32-bit pattern as a float32."""
-    return float(np.uint32(bits & 0xFFFFFFFF).view(np.float32))
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
 
 
 def pack_floats(values: np.ndarray) -> list[ApUInt]:

@@ -95,6 +95,49 @@ class StallReport:
         busy = counts.get(COMPUTE, 0) + counts.get(TRANSFER, 0)
         return busy / live if live else 0.0
 
+    def consistent_with(self, process_stats) -> list[str]:
+        """Cross-check attribution counts against ``ProcessStats`` buckets.
+
+        For every process present in both this report and
+        ``process_stats`` (a ``RegionReport.process_stats`` mapping),
+        verifies the invariants tying the per-cycle taxonomy to the
+        per-process counters:
+
+        * attributed cycles sum to ``stats.cycles`` (live cycles);
+        * ``pipeline`` attribution equals ``stats.pipeline_cycles``
+          (initiation-interval bubbles are one bucket in both views);
+        * ``compute <= active_cycles <= compute + transfer`` — an
+          active cycle classifies as compute unless the process's own
+          burst was draining that cycle (transfer wins the tie).
+
+        Returns a list of human-readable discrepancies (empty = clean).
+        """
+        problems: list[str] = []
+        for name, counts in self.per_process.items():
+            stats = process_stats.get(name)
+            if stats is None or not hasattr(stats, "pipeline_cycles"):
+                continue  # channels and foreign entries have no buckets
+            live = sum(counts.values())
+            if live != stats.cycles:
+                problems.append(
+                    f"{name}: attributed {live} cycles but stats.cycles="
+                    f"{stats.cycles}"
+                )
+            pipeline = counts.get(PIPELINE, 0)
+            if pipeline != stats.pipeline_cycles:
+                problems.append(
+                    f"{name}: pipeline attribution {pipeline} != "
+                    f"stats.pipeline_cycles {stats.pipeline_cycles}"
+                )
+            compute = counts.get(COMPUTE, 0)
+            transfer = counts.get(TRANSFER, 0)
+            if not compute <= stats.active_cycles <= compute + transfer:
+                problems.append(
+                    f"{name}: active_cycles {stats.active_cycles} outside "
+                    f"[compute={compute}, compute+transfer={compute + transfer}]"
+                )
+        return problems
+
     def to_dict(self) -> dict:
         return {
             "region": self.region,

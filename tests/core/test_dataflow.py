@@ -218,3 +218,109 @@ class TestReport:
         )
         with pytest.raises(ValueError):
             report.runtime_seconds(0)
+
+
+def _channel_region():
+    from repro.core.memory import GlobalMemory, MemoryChannel, MemoryChannelConfig
+    from repro.core.transfer import DummySource, TransferEngine
+
+    memory = GlobalMemory(8)
+    region = DataflowRegion("chan")
+    for i in range(2):
+        region.attach_memory_channel(MemoryChannel(MemoryChannelConfig(), memory))
+    for wid in range(2):
+        s = Stream(f"s{wid}", depth=16)
+        region.add(DummySource(f"src{wid}", s, 16))
+        region.add(
+            TransferEngine(
+                f"eng{wid}", wid, s, region.memory_channels[wid],
+                burst_words=1, bursts_per_sector=1, sectors=1, block_offset=1,
+            )
+        )
+    return region
+
+
+class TestChannelStatsAlias:
+    """Regression: the legacy ``__memory_channel__`` key must resolve to
+    channel 0 but never appear in iteration — consumers aggregating over
+    ``process_stats`` used to double-count the first channel."""
+
+    def test_legacy_key_resolves_to_channel_zero(self):
+        region = _channel_region()
+        report = region.run()
+        assert (
+            report.process_stats["__memory_channel__"]
+            is report.process_stats["__memory_channel_0__"]
+        )
+        assert "__memory_channel__" in report.process_stats
+        assert report.process_stats.get("__memory_channel__") is not None
+
+    def test_alias_excluded_from_iteration(self):
+        region = _channel_region()
+        report = region.run()
+        keys = list(report.process_stats)
+        assert "__memory_channel__" not in keys
+        assert "__memory_channel_0__" in keys
+        assert "__memory_channel_1__" in keys
+        # each ChannelStats object appears exactly once in values()
+        channel_stats = [ch.stats for ch in region.memory_channels]
+        seen = [v for v in report.process_stats.values() if v in channel_stats]
+        assert len(seen) == len(channel_stats)
+
+    def test_no_channel_no_alias(self):
+        region, *_ = _pipe(count=4)
+        report = region.run()
+        assert "__memory_channel__" not in report.process_stats
+        assert report.process_stats.get("__memory_channel__") is None
+        with pytest.raises(KeyError):
+            report.process_stats["__memory_channel__"]
+
+
+class TestAbortPathAttribution:
+    """Regression: both abort paths close the attribution at the same
+    boundary (the last recorded cycle), so aborted runs round-trip
+    through StallReport without one-cycle-short spans."""
+
+    @staticmethod
+    def _run_aborted(abort):
+        from repro.obs.stall import StallAttribution
+        from repro.obs.tracer import ChromeTracer
+
+        tracer = ChromeTracer()
+        region = DataflowRegion("abort")
+        s = Stream("s")
+        if abort == "deadlock":
+            region.add(Stuck("stuck", s))
+            expected_cycles = 1  # one recorded zero-progress cycle
+            raises = DeadlockError
+        else:
+            region.add(Producer("p", s, 1000))
+            region.add(Consumer("c", s, 1000))
+            expected_cycles = 7
+            raises = RuntimeError
+        attribution = StallAttribution(region.name, tracer=tracer)
+        with pytest.raises(raises):
+            region.run(
+                max_cycles=7 if abort == "max_cycles" else 100,
+                attribution=attribution,
+            )
+        return attribution, tracer, expected_cycles
+
+    @pytest.mark.parametrize("abort", ["deadlock", "max_cycles"])
+    def test_abort_report_covers_every_recorded_cycle(self, abort):
+        attribution, _, expected = self._run_aborted(abort)
+        report = attribution.report()
+        assert report.cycles == expected
+        for counts in report.per_process.values():
+            assert sum(counts.values()) == expected
+
+    @pytest.mark.parametrize("abort", ["deadlock", "max_cycles"])
+    def test_abort_trace_round_trips(self, abort):
+        from repro.obs.stall import reports_from_trace
+
+        attribution, tracer, expected = self._run_aborted(abort)
+        direct = attribution.report()
+        rebuilt = reports_from_trace(tracer.to_dict())
+        assert len(rebuilt) == 1
+        assert rebuilt[0].cycles == direct.cycles == expected
+        assert rebuilt[0].per_process == direct.per_process

@@ -77,6 +77,29 @@ class TestGlobalMemory:
         mem.write_burst(0, [0, 0, 0])
         assert mem.words_written == 3
 
+    def test_vectorized_lane_split_matches_reference_loop(self):
+        """The numpy lane split must be byte-identical to the original
+        per-lane shift-mask loop for arbitrary 512-bit payloads."""
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            word = int.from_bytes(rng.bytes(64), "little")
+            fast = GlobalMemory(1)
+            fast.write_word(0, word)
+            reference = np.array(
+                [(word >> (32 * lane)) & 0xFFFFFFFF for lane in range(16)],
+                dtype=np.uint32,
+            )
+            np.testing.assert_array_equal(fast._data, reference)
+            np.testing.assert_array_equal(
+                fast.read_floats(0, 16), reference.view(np.float32)
+            )
+
+    def test_vectorized_write_accepts_ap_uint(self):
+        mem = GlobalMemory(1)
+        values = np.linspace(-2.0, 2.0, 16, dtype=np.float32)
+        mem.write_word(0, pack_floats(values)[0])
+        np.testing.assert_array_equal(mem.read_floats(0, 16), values)
+
 
 class TestMemoryChannel:
     def test_single_burst_timing(self):
@@ -126,6 +149,62 @@ class TestMemoryChannel:
         chan.tick(0)
         chan.tick(1)  # idle
         assert chan.stats.utilization == pytest.approx(0.5)
+
+
+class TestChannelFastPath:
+    """Units for the channel side of the cycle-skipping fast path."""
+
+    CFG = MemoryChannelConfig(setup_cycles=3, cycles_per_word=2)
+
+    def test_predict_done_matches_ticked_completion(self):
+        ticked = MemoryChannel(self.CFG)
+        predicted = MemoryChannel(self.CFG)
+        reqs_t, reqs_p = [], []
+        for chan, reqs in ((ticked, reqs_t), (predicted, reqs_p)):
+            for i, words in enumerate(([1], [2, 3], [4])):
+                reqs.append(
+                    chan.submit(BurstRequest(f"wi{i}", i, list(words)))
+                )
+        for c in range(100):
+            ticked.tick(c)
+        for req_t, req_p in zip(reqs_t, reqs_p):
+            assert predicted.predict_done(req_p, 0) == req_t.completed_cycle
+
+    def test_predict_done_cached_and_unknown_request_none(self):
+        chan = MemoryChannel(self.CFG)
+        req = chan.submit(BurstRequest("a", 0, [1]))
+        first = chan.predict_done(req, 0)
+        assert chan.predict_done(req, 0) == first  # cached, O(1)
+        foreign = BurstRequest("x", 0, [1])
+        assert chan.predict_done(foreign, 0) is None
+
+    def test_next_event_is_completion_observation_cycle(self):
+        chan = MemoryChannel(self.CFG)
+        assert chan.next_event(0) == float("inf")  # idle, empty queue
+        req = chan.submit(BurstRequest("a", 0, [1]))
+        cost = self.CFG.burst_cycles(1)
+        assert chan.next_event(0) == cost  # grant at 0, done at cost-1
+        chan.tick(0)
+        assert chan.next_event(1) == cost  # one beat drained
+        while not req.done:
+            chan.tick(chan.stats.busy_cycles)
+
+    @pytest.mark.parametrize("span", [1, 2, 4, 7])
+    def test_skip_cycles_equals_n_ticks(self, span):
+        for chunks in ([(0, [1])], [(0, [1, 2]), (2, [3])], []):
+            ticked = MemoryChannel(self.CFG, GlobalMemory(8))
+            skipped = MemoryChannel(self.CFG, GlobalMemory(8))
+            for chan in (ticked, skipped):
+                for addr, words in chunks:
+                    chan.submit(BurstRequest("a", addr, list(words)))
+            for c in range(span):
+                ticked.tick(c)
+            skipped.skip_cycles(0, span)
+            assert vars(ticked.stats) == vars(skipped.stats)
+            assert (
+                ticked.memory.as_float_array()
+                == skipped.memory.as_float_array()
+            ).all()
 
 
 class TestAnalyticModel:

@@ -92,6 +92,65 @@ class TestPolling:
         assert s.read_stalls == 0 and s.write_stalls == 0
 
 
+class TestPollIdempotence:
+    """Regression: the stall counters feed per-cycle analyses, so a
+    process polling twice within one tick must count a single stall."""
+
+    def test_double_write_poll_same_cycle_counts_once(self):
+        s = Stream("s", depth=1)
+        s.write(1)
+        assert not s.can_write(cycle=3)
+        assert not s.can_write(cycle=3)
+        assert s.write_stalls == 1
+
+    def test_double_read_poll_same_cycle_counts_once(self):
+        s = Stream("s")
+        assert not s.can_read(cycle=3)
+        assert not s.can_read(cycle=3)
+        assert s.read_stalls == 1
+
+    def test_distinct_cycles_count_separately(self):
+        s = Stream("s")
+        for cycle in range(5):
+            assert not s.can_read(cycle=cycle)
+        assert s.read_stalls == 5
+
+    def test_stalls_equal_stalled_cycles(self):
+        """Even with multiple polls per cycle, stalls == stalled cycles."""
+        s = Stream("s", depth=1)
+        s.write(1)
+        stalled_cycles = 0
+        for cycle in range(10):
+            polls = 1 + cycle % 3  # 1..3 polls in the same cycle
+            blocked = [not s.can_write(cycle=cycle) for _ in range(polls)]
+            if all(blocked):
+                stalled_cycles += 1
+        assert s.write_stalls == stalled_cycles == 10
+
+    def test_legacy_cycleless_polls_still_count_each(self):
+        s = Stream("s", depth=1)
+        s.write(1)
+        assert not s.can_write()
+        assert not s.can_write()
+        assert s.write_stalls == 2
+
+    def test_credit_bulk_stalls(self):
+        s = Stream("s", depth=1)
+        s.write(1)
+        assert not s.can_write(cycle=0)
+        s.credit_write_stalls(5, last_cycle=5)
+        assert s.write_stalls == 6
+        # the stamp prevents double-counting at the window boundary
+        assert not s.can_write(cycle=5)
+        assert s.write_stalls == 6
+        assert not s.can_write(cycle=6)
+        assert s.write_stalls == 7
+        empty = Stream("empty")
+        assert not empty.can_read(cycle=0)
+        empty.credit_read_stalls(3, last_cycle=2)
+        assert empty.read_stalls == 4
+
+
 class TestAccounting:
     def test_high_water(self):
         s = Stream("s", depth=8)

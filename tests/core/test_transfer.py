@@ -157,3 +157,83 @@ class TestDummySource:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             DummySource("d", Stream("s"), -1)
+
+
+class TestFastPathHints:
+    """Units for the engine/source side of the cycle-skipping fast path."""
+
+    def _engine(self, **kwargs):
+        channel = MemoryChannel(
+            MemoryChannelConfig(setup_cycles=2, cycles_per_word=1)
+        )
+        stream = Stream("s", depth=4)
+        engine = TransferEngine(
+            "eng", 0, stream, channel,
+            burst_words=1, bursts_per_sector=2, sectors=1, block_offset=2,
+            **kwargs,
+        )
+        return engine, stream, channel
+
+    def test_starved_pack_is_conditional_no_self_event(self):
+        from repro.core.process import NO_SELF_EVENT
+
+        engine, stream, _ = self._engine()
+        assert stream.empty()
+        assert engine.next_event(5) == NO_SELF_EVENT
+
+    def test_pack_with_data_gives_no_guarantee(self):
+        engine, stream, _ = self._engine()
+        stream.write(1.0)
+        assert engine.next_event(0) is None
+
+    def test_wait_burst_event_is_predicted_completion_plus_one(self):
+        engine, stream, channel = self._engine()
+        cycle = 0
+        while engine._pending is None:
+            if stream.can_write(cycle):
+                stream.write(1.0)
+            engine.tick(cycle)
+            cycle += 1
+        event = engine.next_event(cycle)
+        assert event == channel.predict_done(engine._pending, cycle) + 1
+        # skip right up to the event, then tick: the engine advances
+        span = event - cycle
+        engine.skip_cycles(cycle, span)
+        channel.skip_cycles(cycle, span)
+        assert engine._pending.done
+        assert engine.tick(event)  # grant bookkeeping = progress
+
+    def test_skip_matches_ticked_stall_accounting(self):
+        ticked, t_stream, _ = self._engine()
+        skipped, s_stream, _ = self._engine()
+        for c in range(6):  # starved PACK on both
+            ticked.tick(c)
+        skipped.skip_cycles(0, 6)
+        assert vars(ticked.stats) == vars(skipped.stats)
+        assert t_stream.read_stalls == s_stream.read_stalls == 6
+
+    def test_subclass_override_disables_hints(self):
+        class CustomEngine(TransferEngine):
+            def tick(self, cycle):
+                return super().tick(cycle)
+
+        engine, _, _ = self._engine()
+        custom = CustomEngine(
+            "c", 0, Stream("x"), MemoryChannel(),
+            burst_words=1, bursts_per_sector=1, sectors=1, block_offset=1,
+        )
+        assert engine._hintable and not custom._hintable
+        assert custom.next_event(0) is None
+
+    def test_dummy_source_backpressure_hint(self):
+        from repro.core.process import NO_SELF_EVENT
+
+        sink = Stream("s", depth=1)
+        src = DummySource("d", sink, 4)
+        assert src.next_event(0) is None  # room to write: will act
+        src.tick(0)
+        assert sink.full()
+        assert src.next_event(1) == NO_SELF_EVENT
+        src.skip_cycles(1, 3)
+        assert src.stats.stall_cycles == 3
+        assert sink.write_stalls == 3
