@@ -1,0 +1,73 @@
+"""Surrogate-pruned FIFO sweep: wall-clock win over the exhaustive sweep.
+
+``pruned_stream_depth_sweep`` simulates only the calibration depths
+plus the candidates the surrogate cannot rule out — O(frontier) cycle
+simulations instead of O(grid).  On the fifo-sizing grid this cuts a
+14-point sweep to ~3 simulations.
+
+Acceptance: at least 3x faster than ``advise_stream_depth`` over the
+same grid, while recommending the *same* depth and reproducing the
+exhaustive sweep's measurements bit-for-bit at every depth it did
+simulate (the differential equivalence itself is pinned by
+``tests/surrogate/test_pruning.py``; re-asserted here so a speed win
+can never come from choosing a different design point).
+
+Measured numbers are recorded in ``EXPERIMENTS.md``.
+"""
+
+import dataclasses
+import time
+
+from repro.core.decoupled import DecoupledWorkItems
+from repro.core.fifo_sizing import advise_stream_depth
+from repro.harness.sweeps import PRUNE_BASE_CONFIG, PRUNE_DEPTHS
+from repro.surrogate import pruned_stream_depth_sweep
+
+#: the fifo-prune grid extended to the BRAM-burning deep end
+DEPTHS = PRUNE_DEPTHS + (96, 128)
+
+SPEEDUP_FLOOR = 3.0
+
+
+def _exhaustive():
+    t0 = time.perf_counter()
+    result = advise_stream_depth(
+        lambda depth: DecoupledWorkItems(
+            dataclasses.replace(PRUNE_BASE_CONFIG, stream_depth=depth)
+        ).region,
+        depths=DEPTHS,
+    )
+    return time.perf_counter() - t0, result
+
+
+def _pruned():
+    t0 = time.perf_counter()
+    result = pruned_stream_depth_sweep(PRUNE_BASE_CONFIG, depths=DEPTHS)
+    return time.perf_counter() - t0, result
+
+
+def test_pruned_fifo_sweep_3x_faster_same_design_point():
+    runs = [(_exhaustive(), _pruned()) for _ in range(3)]
+    full_t = min(full[0] for full, _ in runs)
+    pruned_t = min(pruned[0] for _, pruned in runs)
+    full = runs[0][0][1]
+    pruned = runs[0][1][1]
+
+    # same selected design point, same measurements where both simulated
+    assert pruned.recommended_depth == full.recommended_depth
+    by_depth = {p.depth: p for p in full.points}
+    for point in pruned.points:
+        assert point == by_depth[point.depth]
+
+    # and the win is structural: most of the grid was never simulated
+    assert len(pruned.simulated_depths) <= len(DEPTHS) // 2
+
+    speedup = full_t / pruned_t
+    print(
+        f"\nexhaustive {1e3 * full_t:.1f} ms ({len(DEPTHS)} sims), "
+        f"pruned {1e3 * pruned_t:.1f} ms "
+        f"({len(pruned.simulated_depths)} sims): {speedup:.2f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"pruned sweep {speedup:.2f}x < {SPEEDUP_FLOOR}x over exhaustive"
+    )

@@ -17,14 +17,18 @@ producer-consumer pair."  This module models that region:
 * deadlock (no process progresses, none done) raises with a full state
   dump instead of hanging.
 
-Untraced runs additionally use a **cycle-skipping fast path**: after a
-cycle in which no process progressed, the region asks every live
-process and channel for a :meth:`~repro.core.process.Process.next_event`
-hint and, when all agree the window is dead, jumps straight to the
-earliest event while bulk-crediting the identical cycle accounting
+Runs additionally use a **cycle-skipping fast path**: after a cycle in
+which no process progressed, the region asks every live process and
+channel for a :meth:`~repro.core.process.Process.next_event` hint and,
+when all agree the window is dead, jumps straight to the earliest
+event while bulk-crediting the identical cycle accounting
 (``docs/simulator_fastpath.md``).  Instrumented runs (tracer or
-explicit attribution) always take the reference one-cycle-at-a-time
-loop so traces stay exact.
+explicit attribution) skip too: a dead window provably repeats the
+stall classification of the cycle before it, so the whole window is
+emitted as one bulk :meth:`~repro.obs.stall.StallAttribution.skip_window`
+span and the resulting trace/report is identical to the reference
+loop's (the instrumented skip stops one cycle short of the event
+horizon so the boundary cycle is classified by a real tick).
 """
 
 from __future__ import annotations
@@ -115,7 +119,7 @@ class DataflowRegion:
         self._processes: list[Process] = []
         self._memory_channels: list = []
         self._validated = False
-        #: cycles the last (untraced) run jumped over instead of ticking
+        #: cycles the last run jumped over instead of ticking
         self.skipped_cycles = 0
 
     @property
@@ -210,11 +214,12 @@ class DataflowRegion:
             (``trace_region`` passes one with lane capture); forces the
             instrumented path regardless of the tracer.
         fast_path:
-            Enable the cycle-skipping fast path (default: on for
-            untraced runs).  ``False`` forces the reference
-            one-cycle-at-a-time loop — the differential-equivalence
-            suite runs both and asserts identical reports.  Instrumented
-            runs always use the reference loop regardless.
+            Enable the cycle-skipping fast path (default: on).
+            ``False`` forces the reference one-cycle-at-a-time loop —
+            the differential-equivalence suite runs both and asserts
+            identical reports.  Instrumented runs skip as well,
+            emitting each dead window as one bulk attribution span
+            with a trace/report identical to the reference loop's.
 
         Raises
         ------
@@ -232,10 +237,11 @@ class DataflowRegion:
             if tracer.enabled:
                 attribution = StallAttribution(self.name, tracer=tracer)
         self.skipped_cycles = 0
-        if attribution is not None:
-            # exact per-cycle traces: always the reference loop
-            return self._run_instrumented(ordered, max_cycles, attribution)
         fast = True if fast_path is None else fast_path
+        if attribution is not None:
+            return self._run_instrumented(
+                ordered, max_cycles, attribution, fast=fast
+            )
         cycle = 0
         live = [p for p in ordered if not p.done()]
         while live:
@@ -304,6 +310,7 @@ class DataflowRegion:
         ordered: list[Process],
         max_cycles: int,
         attribution: StallAttribution,
+        fast: bool = True,
     ) -> RegionReport:
         """The traced twin of :meth:`run`'s loop.
 
@@ -319,6 +326,20 @@ class DataflowRegion:
         * otherwise the process's own :meth:`Process.stall_reason`
           (sampled *before* the tick) — channel-grant waits and
           initiation-interval bubbles classify themselves.
+
+        Dead windows take the same cycle-skipping fast path as
+        untraced runs, with one refinement: the skip stops one cycle
+        *short* of the event horizon, because the boundary cycle is
+        where classification changes (at a burst-completion tick the
+        owner is no longer attributed ``transfer``) and must be
+        observed by the reference code above, not replicated.  Inside
+        the shortened window every live process repeats the state it
+        was attributed on the cycle just before it — pure stalls
+        re-poll the same full/empty stream, a queued engine keeps
+        waiting for its grant, a draining burst keeps draining — so
+        the whole window is attributed in one
+        :meth:`StallAttribution.skip_window` call and the resulting
+        trace and report are identical to the reference loop's.
         """
         channels = self._memory_channels
         cycle = 0
@@ -333,7 +354,7 @@ class DataflowRegion:
                 raise RuntimeError(
                     f"region {self.name!r} exceeded {max_cycles} cycles"
                 )
-            progressed = False
+            proc_progress = False
             states: dict[str, str] = {}
             pre: dict[str, tuple] = {}
             for proc in ordered:
@@ -347,7 +368,8 @@ class DataflowRegion:
                     tuple(s.write_stalls for s in proc.outputs()),
                 )
                 if proc.tick(cycle):
-                    progressed = True
+                    proc_progress = True
+            progressed = proc_progress
             owners: set[str] = set()
             channels_busy: list[bool] = []
             for channel in channels:
@@ -385,6 +407,31 @@ class DataflowRegion:
                 attribution.close()
                 raise DeadlockError(self._deadlock_message(cycle))
             cycle += 1
+            # probe for a dead window after an all-stall cycle, exactly
+            # like the untraced loop (no process finished this cycle, so
+            # ``live`` is still current)
+            if fast and not proc_progress:
+                span = self._skip_window(live, cycle)
+                if span > max_cycles - cycle:
+                    span = max_cycles - cycle
+                span -= 1  # the boundary cycle gets a classifying tick
+                if span >= 2:
+                    busy_before = [ch.stats.busy_cycles for ch in channels]
+                    for proc in live:
+                        proc.skip_cycles(cycle, span)
+                    for channel in channels:
+                        channel.skip_cycles(cycle, span)
+                    attribution.skip_window(
+                        cycle,
+                        span,
+                        states,
+                        [
+                            ch.stats.busy_cycles - before
+                            for ch, before in zip(channels, busy_before)
+                        ],
+                    )
+                    self.skipped_cycles += span
+                    cycle += span
         attribution.close()
         report = self._report(cycle)
         report.stall_report = attribution.report()

@@ -1,0 +1,335 @@
+"""Vectorized Monte Carlo lanes for the gamma kernel (bit-identical).
+
+:class:`~repro.core.kernel.GammaRNGProcess` advances one MAINLOOP
+iteration per Python ``tick()`` — faithful, but the per-iteration
+Python cost dominates large sweeps.  This module batches the iteration
+*mathematics* into numpy lane vectors while leaving the *cycle
+semantics* (blocking writes, II bubbles, sector advances, fast-path
+hints) untouched:
+
+* :class:`GammaLaneStream` precomputes blocks of MAINLOOP iteration
+  outcomes — ``(ok, wrote, value, bubble_cycles)`` records plus sector
+  advances — using :meth:`~repro.rng.mersenne.MersenneTwister.generate`
+  (documented to continue the scalar stream exactly) and closed-form
+  replays of the delayed-counter exit condition;
+* :class:`VectorGammaRNGProcess` is a drop-in
+  :class:`~repro.core.kernel.GammaRNGProcess` whose ``tick`` consumes
+  one precomputed record per cycle instead of running the scalar
+  pipeline.
+
+Bit-identity contract
+---------------------
+Every float is produced by the *same IEEE-754 double operations in the
+same order* as the scalar path.  Elementwise ``+ - * /`` and
+``np.sqrt`` on float64 arrays are bit-identical to their scalar
+counterparts, but ``np.log`` and ``np.power`` are **not** guaranteed to
+match libm — so the (rare) lanes that need a logarithm or the
+``u2**(1/alpha)`` correction are evaluated with scalar ``math.log`` /
+Python ``**`` exactly like the scalar kernel.  The differential suite
+(``tests/core/test_vector_lanes.py``) asserts identical device memory,
+reports, and RNG statistics across the paper configurations.
+
+Gated twisters are replayed with peek semantics: a disabled step
+outputs the *next unconsumed* word without advancing, so the uniform an
+iteration sees is indexed by the exclusive running count of enabled
+steps before it — no per-iteration Python calls required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.core.kernel import GammaKernelConfig, GammaRNGProcess
+from repro.core.stream import Stream
+from repro.rng.gamma import marsaglia_tsang_constants
+from repro.rng.icdf import IcdfFpga
+from repro.rng.uniform import uint_to_float, uint_to_symmetric
+
+__all__ = ["GammaLaneStream", "VectorGammaRNGProcess", "DEFAULT_BLOCK"]
+
+#: MAINLOOP iterations precomputed per refill.
+DEFAULT_BLOCK = 256
+
+#: Sector-advance marker in the record stream (the exit-check tick that
+#: consumes no RNG words).
+_ADVANCE = object()
+
+
+class _BufferedMT:
+    """Peek-ahead window over one Mersenne-Twister's word stream.
+
+    ``generate()`` advances the underlying twister in bulk; this buffer
+    re-exposes the words with *peek/consume* semantics so gated
+    (enable=False) steps can read the next unconsumed word without
+    losing it — exactly what
+    :meth:`~repro.rng.mersenne.MersenneTwister.next_u32` does one word
+    at a time.
+    """
+
+    def __init__(self, mt):
+        self._mt = mt
+        self._buf = np.empty(0, dtype=np.uint32)
+        self._pos = 0
+
+    def peek(self, count: int) -> np.ndarray:
+        """The next ``count`` unconsumed words (buffer refills as needed)."""
+        available = self._buf.size - self._pos
+        if available < count:
+            fresh = self._mt.generate(max(count - available, DEFAULT_BLOCK))
+            self._buf = np.concatenate([self._buf[self._pos :], fresh])
+            self._pos = 0
+        return self._buf[self._pos : self._pos + count]
+
+    def consume(self, count: int) -> None:
+        self._pos += count
+
+
+class GammaLaneStream:
+    """Block-vectorized replay of the Listing 2 MAINLOOP.
+
+    Yields, via :meth:`pop`, one record per kernel tick:
+
+    * ``(ok, wrote, value, bubbles)`` for a MAINLOOP iteration — the
+      acceptance flag, the guarded-write flag, the scaled gamma (only
+      when written), and the gated-MT bubble cycles of the iteration;
+    * the sector-advance sentinel for each exit-check tick.
+
+    The MAINLOOP exit condition is replayed in closed form: with the
+    delayed counter the exit test at iteration ``i`` reads the counter
+    value as of ``break_id + 1`` iterations earlier, so a sector runs
+    exactly ``min(limit_max, k_hit + 1 + break_id + 1)`` iterations,
+    where ``k_hit`` is the iteration producing the ``limit_main``-th
+    accepted value (naive exit: ``min(limit_max, k_hit + 1)``).
+    """
+
+    def __init__(self, config: GammaKernelConfig, facades, block: int = DEFAULT_BLOCK):
+        if config.transform != "marsaglia_bray":
+            raise ValueError(
+                "vectorized lanes support the marsaglia_bray transform "
+                f"only (got {config.transform!r}); use the scalar kernel"
+            )
+        self._cfg = config
+        self._facades = facades  # (norm_a, norm_b, reject, correct)
+        self._bufs = [_BufferedMT(f._mt) for f in facades]
+        self._block = block
+        self._queue: deque = deque()
+        self._bubble = facades[0].bubble_cycles
+        self._delay = config.break_id + 1 if config.use_delayed_counter else 0
+        self._sector = 0
+        self._consts = marsaglia_tsang_constants(1.0 / config.sector_variances[0])
+        self._scale = config.sector_variances[0]
+        self._k = 0  # iterations executed in the current sector
+        self._oks = 0  # accepted iterations in the current sector
+        self._k_hit: int | None = None  # iteration of the limit-th accept
+        self.finished = False
+
+    # -- closed-form exit ----------------------------------------------------------
+
+    def _exit_k(self) -> int:
+        """Iterations the current sector executes before its exit tick."""
+        cap = self._cfg.effective_limit_max
+        if self._k_hit is None:
+            return cap
+        return min(cap, self._k_hit + 1 + self._delay)
+
+    # -- block generation ----------------------------------------------------------
+
+    def _refill(self) -> None:
+        cfg = self._cfg
+        exit_k = self._exit_k()
+        if self._k >= exit_k:
+            # the next tick observes the exit condition: sector advance
+            self._queue.append(_ADVANCE)
+            self._sector += 1
+            if self._sector >= cfg.sectors:
+                self.finished = True
+                return
+            variance = cfg.sector_variances[self._sector]
+            self._consts = marsaglia_tsang_constants(1.0 / variance)
+            self._scale = variance
+            self._k = 0
+            self._oks = 0
+            self._k_hit = None
+            return
+
+        window = min(self._block, exit_k - self._k)
+        consts = self._consts
+        limit = cfg.limit_main
+
+        # Marsaglia-Bray normal candidates over the two free-running MTs
+        wa = self._bufs[0].peek(window)
+        wb = self._bufs[1].peek(window)
+        u1s = uint_to_symmetric(wa).astype(np.float64)
+        u2s = uint_to_symmetric(wb).astype(np.float64)
+        s = u1s * u1s + u2s * u2s
+        n0_valid = (s < 1.0) & (s != 0.0)
+        n0 = np.zeros(window, dtype=np.float64)
+        valid_idx = np.nonzero(n0_valid)[0]
+        if valid_idx.size:
+            sv = s[valid_idx]
+            # libm log per lane: np.log is not bit-identical to math.log
+            logs = np.array([math.log(x) for x in sv.tolist()], dtype=np.float64)
+            n0[valid_idx] = u1s[valid_idx] * np.sqrt((-2.0 * logs) / sv)
+
+        # gated rejection uniforms: iteration j peeks the word indexed
+        # by the count of enabled (valid-normal) steps before it
+        cum_valid = np.cumsum(n0_valid)
+        excl_valid = cum_valid - n0_valid
+        rej_words = self._bufs[2].peek(int(excl_valid[-1]) + 1)
+        u1 = uint_to_float(rej_words[excl_valid]).astype(np.float64)
+
+        # Marsaglia-Tsang attempt, op-for-op as gamma_attempt()
+        t = 1.0 + consts.c * n0
+        v = t * t * t
+        t_pos = t > 0.0
+        g_valid = t_pos & (u1 < 1.0 - 0.0331 * (n0 * n0) * (n0 * n0))
+        full_idx = np.nonzero(t_pos & ~g_valid)[0]
+        if full_idx.size:
+            lhs = np.array(
+                [math.log(x) for x in u1[full_idx].tolist()], dtype=np.float64
+            )
+            logv = np.array(
+                [math.log(x) for x in v[full_idx].tolist()], dtype=np.float64
+            )
+            xs = n0[full_idx]
+            accept = lhs < 0.5 * xs * xs + consts.d * (1.0 - v[full_idx] + logv)
+            g_valid[full_idx[accept]] = True
+        ok = n0_valid & g_valid
+
+        # sector exit bookkeeping: locate the limit-th accept, then cut
+        cum_ok = np.cumsum(ok)
+        if self._k_hit is None:
+            needed = limit - self._oks
+            if needed <= int(cum_ok[-1]):
+                local = int(np.searchsorted(cum_ok, needed))
+                self._k_hit = self._k + local
+                exit_k = self._exit_k()
+        executed = min(window, exit_k - self._k)
+        ok_e = ok[:executed]
+        valid_e = n0_valid[:executed]
+        excl_ok = cum_ok[:executed] - ok_e
+
+        # guarded write: counter (= accepts so far this sector) < limit
+        wrote = ok_e & (self._oks + excl_ok < limit)
+        values: list = [None] * executed
+        write_idx = np.nonzero(wrote)[0]
+        if write_idx.size:
+            g_raw = consts.d * v[:executed]
+            corr_words = self._bufs[3].peek(int(excl_ok[-1]) + 1)
+            u2 = uint_to_float(corr_words[excl_ok[write_idx]])
+            for j, i in enumerate(write_idx):
+                gamma = float(g_raw[i])
+                if consts.boosted:
+                    # scalar pow: np.power is not bit-identical to libm
+                    gamma = gamma * (float(u2[j]) ** consts.inv_alpha)
+                values[i] = gamma * self._scale
+
+        if self._bubble:
+            bubbles = self._bubble * (
+                (~valid_e).astype(np.int64) + (~ok_e).astype(np.int64)
+            )
+        else:
+            bubbles = np.zeros(executed, dtype=np.int64)
+
+        # commit exactly the words the executed iterations consumed
+        n_valid = int(np.count_nonzero(valid_e))
+        n_ok = int(np.count_nonzero(ok_e))
+        self._bufs[0].consume(executed)
+        self._bufs[1].consume(executed)
+        self._bufs[2].consume(n_valid)
+        self._bufs[3].consume(n_ok)
+        norm_a, norm_b, reject, correct = self._facades
+        norm_a.steps += executed
+        norm_b.steps += executed
+        reject.steps += executed
+        reject.held += executed - n_valid
+        correct.steps += executed
+        correct.held += executed - n_ok
+        self._k += executed
+        self._oks += n_ok
+        self._queue.extend(
+            zip(ok_e.tolist(), wrote.tolist(), values, bubbles.tolist())
+        )
+
+    def pop(self):
+        """The next tick's record (an iteration tuple or ``_ADVANCE``)."""
+        while not self._queue:
+            self._refill()
+        return self._queue.popleft()
+
+
+class VectorGammaRNGProcess(GammaRNGProcess):
+    """Drop-in gamma work-item consuming precomputed lane records.
+
+    Identical cycle accounting, stream traffic, statistics, and output
+    values to :class:`~repro.core.kernel.GammaRNGProcess` — only the
+    per-iteration mathematics is hoisted into
+    :class:`GammaLaneStream` blocks.  Restricted to the
+    ``marsaglia_bray`` transform (the paper's Table I FPGA design).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        wid: int,
+        config: GammaKernelConfig,
+        sink: Stream,
+        icdf_table: IcdfFpga | None = None,
+        block: int = DEFAULT_BLOCK,
+    ):
+        super().__init__(name, wid, config, sink, icdf_table)
+        self._lanes = GammaLaneStream(
+            config,
+            (self.mt_norm_a, self.mt_norm_b, self.mt_reject, self.mt_correct),
+            block=block,
+        )
+        # the overridden tick preserves the pending/stall-budget
+        # semantics the inherited next_event/skip_cycles hints describe,
+        # so the cycle-skipping fast path stays valid
+        self._hintable = True
+
+    def tick(self, cycle: int) -> bool:
+        if self._done:
+            return self._account(False)
+
+        if self._pending is not None:
+            if not self.sink.can_write(cycle):
+                self._account(False)
+                return False  # genuinely blocked; deadlock-detectable
+            self.sink.write(self._pending)
+            self._pending = None
+            return self._account(True)
+
+        if self._stall_budget > 0:
+            self._stall_budget -= 1
+            return self._account_bubble()
+
+        record = self._lanes.pop()
+        if record is _ADVANCE:
+            self._sector += 1
+            if self._sector >= self.config.sectors:
+                self._done = True
+                self.sink.close()
+                return self._account(True)
+            self._enter_sector(self._sector)
+            return self._account(True)
+
+        ok, wrote, value, bubbles = record
+        self.attempts += 1
+        self.stats.iterations += 1
+        if wrote:
+            self.accepts += 1
+            self.produced.append(value)
+            self.outputs_produced += 1
+            if self.sink.can_write(cycle):
+                self.sink.write(value)
+            else:
+                self._pending = value
+        elif ok:
+            self.overrun_iterations += 1
+        self._k += 1
+        self._stall_budget = self.config.ii - 1 + bubbles
+        return self._account(True)

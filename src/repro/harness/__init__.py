@@ -42,6 +42,17 @@ registry.register_lazy(
     "engine resilience under a seeded fault plan "
     "(deadlines, retries, circuit breakers)",
 )
+registry.register_lazy(
+    "fifo-prune",
+    "repro.harness.sweeps:run_fifo_prune",
+    "FIFO sizing via the surrogate-pruned sweep "
+    "(simulates the predicted frontier only)",
+)
+registry.register_lazy(
+    "sweep-prune",
+    "repro.harness.sweeps:run_sweep_prune",
+    "depth x channels Pareto sweep, surrogate-pruned",
+)
 
 __all__ = [
     "registry",

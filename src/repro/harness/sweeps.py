@@ -1,0 +1,146 @@
+"""Surrogate-pruned sweep drivers (``fifo-prune``, ``sweep-prune``).
+
+These CLI experiments exercise :mod:`repro.surrogate` end to end on the
+same config family the exhaustive sweeps use: score the whole grid with
+the calibrated surrogate, cycle-simulate only the surviving candidates,
+and report predicted-vs-simulated cycles per point so the pruning is
+auditable from the rendered table (``-`` marks points the surrogate
+ruled out without simulation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.decoupled import DecoupledConfig
+from repro.core.kernel import GammaKernelConfig
+from repro.core.memory import MemoryChannelConfig
+from repro.harness.experiments import ExperimentResult
+from repro.rng.mersenne import MT521_PARAMS
+
+__all__ = [
+    "PRUNE_BASE_CONFIG",
+    "PRUNE_DEPTHS",
+    "run_fifo_prune",
+    "run_sweep_prune",
+]
+
+#: The depth-sensitive configuration the fifo_sizing tests sweep —
+#: vectorized lanes + the short Mersenne Twister keep one simulation
+#: cheap enough that pruning headroom, not Python overhead, dominates.
+PRUNE_BASE_CONFIG = DecoupledConfig(
+    n_work_items=2,
+    kernel=GammaKernelConfig(mt_params=MT521_PARAMS, limit_main=128),
+    burst_words=2,
+    channel=MemoryChannelConfig(setup_cycles=40, cycles_per_word=2),
+    vector_lanes=True,
+)
+
+PRUNE_DEPTHS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+def run_fifo_prune(
+    base_config: DecoupledConfig | None = None,
+    depths: tuple[int, ...] = PRUNE_DEPTHS,
+) -> ExperimentResult:
+    """FIFO sizing via the surrogate-pruned sweep."""
+    from repro.surrogate import pruned_stream_depth_sweep
+
+    base = base_config or PRUNE_BASE_CONFIG
+    result = pruned_stream_depth_sweep(base, depths=depths)
+    simulated = {p.depth: p for p in result.points}
+    rows = []
+    for depth in depths:
+        point = simulated.get(depth)
+        rows.append(
+            [
+                depth,
+                round(result.predicted[depth], 1),
+                point.cycles if point else "-",
+                point.total_write_stalls if point else "-",
+                "yes" if depth == result.recommended_depth else "",
+            ]
+        )
+    return ExperimentResult(
+        experiment="FIFO sizing (surrogate-pruned sweep)",
+        headers=[
+            "depth",
+            "predicted_cycles",
+            "simulated_cycles",
+            "write_stalls",
+            "recommended",
+        ],
+        rows=rows,
+        series={
+            "predicted": {str(d): result.predicted[d] for d in depths},
+        },
+        notes=(
+            f"recommended depth {result.recommended_depth}; simulated "
+            f"{len(result.simulated_depths)}/{len(depths)} depths "
+            f"(margin {result.margin:.3f}, max LOO error "
+            f"{result.fit.max_relative_error:.3f}, "
+            f"tolerance {result.tolerance:.0%})"
+        ),
+    )
+
+
+def _grid(base: DecoupledConfig):
+    """(config, resource cost) per point: burst buffers + channel ports."""
+    configs, costs = [], []
+    for n_channels in (1, 2, 3):
+        for burst_words in (1, 2, 4, 8):
+            configs.append(
+                dataclasses.replace(
+                    base, burst_words=burst_words, n_channels=n_channels
+                )
+            )
+            # per-engine burst staging buffers plus the (much pricier)
+            # extra memory-controller port
+            costs.append(
+                burst_words * base.n_work_items + 64 * (n_channels - 1)
+            )
+    return configs, costs
+
+
+def run_sweep_prune(
+    base_config: DecoupledConfig | None = None,
+) -> ExperimentResult:
+    """Pareto frontier of a (burst length × channels) grid, pruned."""
+    from repro.surrogate import pruned_grid_sweep
+
+    base = base_config or dataclasses.replace(
+        PRUNE_BASE_CONFIG, n_work_items=4
+    )
+    configs, costs = _grid(base)
+    result = pruned_grid_sweep(configs, costs)
+    frontier = set(result.frontier_indices)
+    rows = []
+    for i, (cfg, cost) in enumerate(zip(configs, costs)):
+        rows.append(
+            [
+                cfg.burst_words,
+                cfg.n_channels,
+                cost,
+                round(float(result.predicted[i]), 1),
+                result.simulated_cycles.get(i, "-"),
+                "yes" if i in frontier else "",
+            ]
+        )
+    return ExperimentResult(
+        experiment="Burst x channels Pareto sweep (surrogate-pruned)",
+        headers=[
+            "burst_words",
+            "channels",
+            "cost",
+            "predicted_cycles",
+            "simulated_cycles",
+            "frontier",
+        ],
+        rows=rows,
+        notes=(
+            f"frontier {sorted(frontier)} of {len(configs)} grid points; "
+            f"simulated {len(result.candidate_indices)} "
+            f"(margin {result.margin:.3f}, max LOO error "
+            f"{result.fit.max_relative_error:.3f})"
+        ),
+    )

@@ -289,6 +289,61 @@ class StallAttribution:
                 self._overlap_cycles += 1
         self._cycles = cycle + 1
 
+    def skip_window(
+        self,
+        cycle: int,
+        span: int,
+        states: dict[str, str],
+        channel_busy_counts: list[int],
+    ) -> None:
+        """Attribute a provably dead window of ``span`` cycles in one call.
+
+        The instrumented fast path
+        (:meth:`~repro.core.dataflow.DataflowRegion.run`) calls this in
+        place of ``span`` individual :meth:`record_cycle` calls when
+        every live process is guaranteed to repeat the state it was
+        attributed on the cycle just before the window.  Counts advance
+        by ``span`` at once and open same-state windows simply widen, so
+        the compressed trace spans — and therefore the exported trace
+        and the :class:`StallReport` — are identical to per-cycle
+        recording.  ``channel_busy_counts`` carries the busy cycles each
+        channel credited in its own ``skip_cycles`` (a busy channel
+        drains for the whole window; an idle one stays idle).  A dead
+        window contains no compute cycles by construction, so the
+        compute/overlap headline counters are untouched.
+        """
+        for name, state in states.items():
+            counts = self._counts.get(name)
+            if counts is None:
+                counts = {}
+                self._counts[name] = counts
+                if self.keep_lanes:
+                    self.lanes[name] = []
+            if state != DONE:
+                counts[state] = counts.get(state, 0) + span
+            if self.keep_lanes:
+                self.lanes[name].extend([_SYMBOLS.get(state, "w")] * span)
+            window = self._windows.get(name)
+            if window is None:
+                self._windows[name] = (state, cycle)
+            elif window[0] != state:
+                self._flush_window(name, cycle)
+                self._windows[name] = (state, cycle)
+        for i, busy in enumerate(channel_busy_counts):
+            while len(self._channel_busy) <= i:
+                self._channel_busy.append(0)
+                self._channel_windows[len(self._channel_busy) - 1] = None
+            if busy:
+                self._channel_busy[i] += busy
+                if self._channel_windows[i] is None:
+                    self._channel_windows[i] = cycle
+                if busy < span:
+                    # busy prefix only: the burst drained mid-window
+                    self._flush_channel(i, cycle + busy)
+            elif self._channel_windows[i] is not None:
+                self._flush_channel(i, cycle)
+        self._cycles = cycle + span
+
     def _flush_channel(self, i: int, end_cycle: int) -> None:
         start = self._channel_windows[i]
         if start is None:

@@ -1,0 +1,55 @@
+"""Analytical surrogate of the cycle simulator + Pareto-pruned sweeps.
+
+The repo carries two performance models: the closed-form Eq-(1) path
+(:mod:`repro.devices.fpga`) and the cycle-accurate simulator
+(:mod:`repro.core.dataflow`).  Design-space sweeps (FIFO sizing, burst
+length, channel count) pay the simulator on every grid point, yet most
+points only need a *ranking*.  This package closes the gap the way
+PPT-GPU-style hybrid models do: fit a cheap analytical surrogate
+against a handful of simulated calibration points, score the whole grid
+with it, keep the predicted Pareto frontier plus an uncertainty margin,
+and cycle-simulate only those survivors.
+
+* :mod:`repro.surrogate.features` — the feature vector: Eq-(1)/channel
+  bounds evaluated with *measured* per-process rejection and
+  cycles-per-iteration extracted from a calibration ``RegionReport``,
+  plus a FIFO back-pressure penalty term and sector overhead.
+* :mod:`repro.surrogate.model` — :class:`CycleSurrogate`, a ridge
+  least-squares fit with leave-one-out cross-validation so every
+  calibrated config reports its own honest relative error.
+* :mod:`repro.surrogate.pruning` — Pareto frontier/margin pruning and
+  the pruned sweep drivers (``docs/surrogate.md`` documents when *not*
+  to trust them).
+"""
+
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    ReportCalibration,
+    config_features,
+)
+from repro.surrogate.model import DEFAULT_ERROR_BOUND, CycleSurrogate, SurrogateFit
+from repro.surrogate.pruning import (
+    PrunedGridResult,
+    PrunedSizingResult,
+    margin_for_error,
+    pareto_indices,
+    pruned_candidate_indices,
+    pruned_grid_sweep,
+    pruned_stream_depth_sweep,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "ReportCalibration",
+    "config_features",
+    "DEFAULT_ERROR_BOUND",
+    "CycleSurrogate",
+    "SurrogateFit",
+    "margin_for_error",
+    "pareto_indices",
+    "pruned_candidate_indices",
+    "pruned_stream_depth_sweep",
+    "pruned_grid_sweep",
+    "PrunedSizingResult",
+    "PrunedGridResult",
+]

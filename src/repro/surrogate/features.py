@@ -1,0 +1,97 @@
+"""Feature extraction: analytic cycle terms per decoupled config.
+
+Each :class:`~repro.core.decoupled.DecoupledConfig` maps to a small
+feature vector whose terms are the *mechanisms* the cycle simulator
+resolves:
+
+``bound``
+    The Eq-(1)-style roofline: the larger of the per-work-item compute
+    cycles (outputs × (1 + r) × measured cycles-per-iteration) and the
+    busiest channel's burst cycles — the same max() the
+    :class:`~repro.devices.fpga.FpgaModel` takes.
+``depth_penalty``
+    FIFO back-pressure: per burst, the cycles an engine's channel wait
+    exceeds the slack a ``stream_depth``-deep FIFO buys the kernel.
+    Zero once streams are deep enough — the term that makes the
+    ``fifo_sizing`` sweep non-trivial.
+``sectors``
+    SECLOOP iterations (drain/advance overhead per sector).
+``one``
+    Intercept (warm-up, region setup).
+
+The measured inputs come from ONE simulated calibration run via
+:class:`ReportCalibration`: the pooled rejection rate and the kernels'
+cycles-per-iteration (active + II-bubble cycles over iterations —
+per-process features exported from the ``RegionReport``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decoupled import DecoupledConfig, DecoupledResult
+
+__all__ = ["FEATURE_NAMES", "ReportCalibration", "config_features"]
+
+FEATURE_NAMES = ("bound", "depth_penalty", "sectors", "one")
+
+
+@dataclass(frozen=True)
+class ReportCalibration:
+    """Measured per-process terms extracted from one simulated run."""
+
+    #: pooled rejection rate across work-items (attempts vs accepts)
+    rejection_rate: float
+    #: kernel (active + pipeline) cycles per MAINLOOP iteration — the
+    #: effective initiation interval including gated-MT bubbles
+    cycles_per_iteration: float
+
+    @classmethod
+    def from_result(cls, result: DecoupledResult) -> "ReportCalibration":
+        stats = result.report.process_stats
+        active = sum(stats[k.name].active_cycles for k in result.kernels)
+        bubbles = sum(stats[k.name].pipeline_cycles for k in result.kernels)
+        iterations = sum(stats[k.name].iterations for k in result.kernels)
+        return cls(
+            rejection_rate=result.rejection_rate,
+            cycles_per_iteration=(
+                (active + bubbles) / iterations if iterations else 1.0
+            ),
+        )
+
+
+def config_features(
+    config: DecoupledConfig, calibration: ReportCalibration
+) -> np.ndarray:
+    """The surrogate feature vector for one design point."""
+    kernel = config.kernel
+    r = calibration.rejection_rate
+    cpi = calibration.cycles_per_iteration
+
+    # compute bound: per-work-item attempts at the measured iteration cost
+    compute = kernel.total_outputs * (1.0 + r) * cpi
+
+    # transfer bound: the busiest channel (engines split round-robin)
+    burst_cycles = config.channel.burst_cycles(config.burst_words)
+    bursts_per_item = kernel.sectors * config.bursts_per_sector
+    engines_on_busiest = -(-config.n_work_items // config.n_channels)
+    transfer = bursts_per_item * engines_on_busiest * burst_cycles
+
+    # FIFO back-pressure: while its burst waits behind the other engines
+    # on the channel, a kernel can keep producing into `stream_depth`
+    # slots; beyond that it stalls — per burst, per sector
+    wait = engines_on_busiest * burst_cycles
+    slack = config.stream_depth * (1.0 + r) * cpi
+    depth_penalty = bursts_per_item * max(0.0, wait - slack)
+
+    return np.array(
+        [
+            max(compute, transfer),
+            depth_penalty,
+            float(kernel.sectors),
+            1.0,
+        ],
+        dtype=np.float64,
+    )

@@ -1,0 +1,126 @@
+"""Ridge least-squares surrogate with leave-one-out cross-validation.
+
+:class:`CycleSurrogate` learns a linear map from the analytic feature
+vector (:func:`repro.surrogate.config_features`) to *simulated* cycle
+counts.  The fit is deliberately tiny — four coefficients over a
+handful of calibration points — because the features already encode the
+model structure; the regression only absorbs the constants the
+closed-form bounds get wrong (warm-up, pipeline drain, arbitration).
+
+Honesty is built in: :meth:`CycleSurrogate.fit` performs leave-one-out
+cross-validation so every calibration config reports the relative error
+a fit *without it* would have made on it.  ``SurrogateFit.max_relative_error``
+is the number to compare against :data:`DEFAULT_ERROR_BOUND` before
+trusting the surrogate for pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.surrogate.features import FEATURE_NAMES
+
+__all__ = ["DEFAULT_ERROR_BOUND", "CycleSurrogate", "SurrogateFit"]
+
+#: Documented ceiling on the surrogate's leave-one-out relative error
+#: over the calibrated configs.  Fits whose ``max_relative_error``
+#: exceeds this should not be used for pruning (see docs/surrogate.md);
+#: the honesty tests in tests/surrogate/ assert the bound holds on a
+#: diverse calibration set.  Deliberately loose — the surrogate exists
+#: to *rank* design points for pruning, not to clock them; margins
+#: derived from it via ``margin_for_error`` absorb exactly this error.
+DEFAULT_ERROR_BOUND = 0.35
+
+
+@dataclass
+class SurrogateFit:
+    """Diagnostics of one :meth:`CycleSurrogate.fit` call."""
+
+    #: learned coefficients, one per :data:`FEATURE_NAMES` entry
+    coefficients: dict[str, float]
+    #: per-config leave-one-out relative errors, |pred - true| / true
+    loo_relative_errors: list[float] = field(default_factory=list)
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(self.loo_relative_errors, default=0.0)
+
+
+class CycleSurrogate:
+    """Linear surrogate ``cycles ≈ features · w`` fit by ridge lstsq.
+
+    ``ridge`` is the L2 penalty applied in *normalized* feature space
+    (each column scaled to unit max), so a single default works across
+    feature magnitudes spanning several orders of magnitude.
+    """
+
+    def __init__(self, ridge: float = 1e-6):
+        if ridge < 0:
+            raise ValueError("ridge penalty must be non-negative")
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+        self.fit_info: SurrogateFit | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, features, cycles) -> SurrogateFit:
+        """Fit against simulated cycle counts; returns diagnostics.
+
+        ``features`` is an (n_configs, n_features) array-like;
+        ``cycles`` the matching simulated totals.  Requires at least
+        two calibration points (LOO needs one to hold out).
+        """
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(cycles, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != len(FEATURE_NAMES):
+            raise ValueError(
+                f"features must be (n, {len(FEATURE_NAMES)}); got {x.shape}"
+            )
+        if y.shape != (x.shape[0],):
+            raise ValueError("cycles must match features row-for-row")
+        if x.shape[0] < 2:
+            raise ValueError("need at least two calibration points")
+        self._weights = self._solve(x, y)
+        errors = []
+        for i in range(x.shape[0]):
+            keep = np.arange(x.shape[0]) != i
+            w = self._solve(x[keep], y[keep])
+            pred = float(x[i] @ w)
+            errors.append(abs(pred - y[i]) / y[i] if y[i] else abs(pred))
+        self.fit_info = SurrogateFit(
+            coefficients=dict(
+                zip(FEATURE_NAMES, (float(v) for v in self._weights))
+            ),
+            loo_relative_errors=errors,
+        )
+        return self.fit_info
+
+    def _solve(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # normalize columns so the ridge penalty is scale-free; all-zero
+        # columns (e.g. depth_penalty when every FIFO is deep) keep a
+        # unit scale and get zero weight from the penalty
+        scale = np.abs(x).max(axis=0)
+        scale[scale == 0.0] = 1.0
+        xn = x / scale
+        a = xn.T @ xn + self.ridge * np.eye(xn.shape[1])
+        b = xn.T @ y
+        return np.linalg.solve(a, b) / scale
+
+    def predict(self, features) -> np.ndarray:
+        """Predicted cycle counts for (n, n_features) or a single row."""
+        if self._weights is None:
+            raise RuntimeError("surrogate is not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        if x.shape[1] != len(FEATURE_NAMES):
+            raise ValueError(
+                f"features must have {len(FEATURE_NAMES)} columns"
+            )
+        pred = x @ self._weights
+        return pred[0] if squeeze else pred

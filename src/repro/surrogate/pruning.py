@@ -1,0 +1,313 @@
+"""Pareto-frontier pruning: cycle-simulate only surrogate survivors.
+
+Two sweep shapes are covered:
+
+* :func:`pruned_stream_depth_sweep` — the ``fifo_sizing`` question
+  ("smallest depth within tolerance of the deepest"), single objective
+  with a monotone resource axis.
+* :func:`pruned_grid_sweep` — a generic (resource cost, cycles) grid;
+  the surrogate scores every point, the margin rule keeps candidates,
+  and the exact Pareto frontier is computed on *simulated* cycles of
+  the survivors only.
+
+The retention guarantee (proved in docs/surrogate.md, property-tested
+in tests/surrogate/): if every surrogate prediction is within a
+relative error ``eps`` of the true cycles, then a margin of at least
+``(1 + eps) / (1 - eps) - 1`` guarantees no true-frontier point is
+pruned — a frontier point's prediction is at most ``(1+eps)`` times its
+truth, every point costing no more has truth at least as large (else it
+would dominate), and the best competing prediction can undershoot that
+truth by at most the factor ``(1-eps)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.decoupled import DecoupledConfig, DecoupledWorkItems
+from repro.core.fifo_sizing import DepthPoint
+from repro.surrogate.features import ReportCalibration, config_features
+from repro.surrogate.model import CycleSurrogate, SurrogateFit
+
+__all__ = [
+    "PrunedGridResult",
+    "PrunedSizingResult",
+    "margin_for_error",
+    "pareto_indices",
+    "pruned_candidate_indices",
+    "pruned_grid_sweep",
+    "pruned_stream_depth_sweep",
+]
+
+
+def margin_for_error(eps: float) -> float:
+    """Smallest pruning margin safe for ``eps``-bounded relative error."""
+    if not 0 <= eps < 1:
+        raise ValueError("relative error bound must be in [0, 1)")
+    return (1.0 + eps) / (1.0 - eps) - 1.0
+
+
+def pareto_indices(costs, values) -> list[int]:
+    """Indices on the (cost, value) Pareto frontier, both minimized.
+
+    Weak dominance with ties kept: a point is dropped only if another
+    point is no worse on both axes and strictly better on at least one.
+    Exact duplicates all stay on the frontier.
+    """
+    c = np.asarray(costs, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if c.shape != v.shape or c.ndim != 1:
+        raise ValueError("costs and values must be equal-length 1-D")
+    keep = []
+    for i in range(len(c)):
+        dominated = (
+            (c <= c[i]) & (v <= v[i]) & ((c < c[i]) | (v < v[i]))
+        ).any()
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def pruned_candidate_indices(costs, predicted, margin: float) -> list[int]:
+    """Surrogate-side pruning: survivors that may be on the frontier.
+
+    Keeps index ``i`` iff its predicted cycles are within ``1 + margin``
+    of the best prediction among points that cost no more than it.  Any
+    point failing this is predicted-dominated by such a clear gap that,
+    under the margin's error bound, it cannot be on the true frontier.
+    """
+    if margin < 0:
+        raise ValueError("margin must be >= 0")
+    c = np.asarray(costs, dtype=np.float64)
+    p = np.asarray(predicted, dtype=np.float64)
+    if c.shape != p.shape or c.ndim != 1:
+        raise ValueError("costs and predicted must be equal-length 1-D")
+    keep = []
+    for i in range(len(c)):
+        best_cheaper = p[c <= c[i]].min()
+        if p[i] <= (1.0 + margin) * best_cheaper:
+            keep.append(i)
+    return keep
+
+
+@dataclass
+class PrunedSizingResult:
+    """Outcome of a surrogate-pruned FIFO-depth sweep."""
+
+    #: simulated depths only, ascending (the O(frontier) part)
+    points: list[DepthPoint]
+    recommended_depth: int
+    tolerance: float
+    margin: float
+    #: depths the surrogate could not rule out (incl. calibration)
+    candidate_depths: list[int]
+    #: subset of candidates actually simulated (early exit may skip some)
+    simulated_depths: list[int]
+    #: surrogate prediction per swept depth
+    predicted: dict[int, float] = field(default_factory=dict)
+    fit: SurrogateFit | None = None
+
+    def table(self) -> list[list]:
+        return [
+            [p.depth, p.cycles, p.max_high_water, p.total_write_stalls]
+            for p in self.points
+        ]
+
+
+def _simulate_depth(config: DecoupledConfig, depth: int):
+    items = DecoupledWorkItems(
+        dataclasses.replace(config, stream_depth=depth)
+    )
+    result = items.run()
+    report = result.report
+    highs = [s["high_water"] for s in report.stream_stats.values()]
+    stalls = [s["write_stalls"] for s in report.stream_stats.values()]
+    point = DepthPoint(
+        depth=depth,
+        cycles=report.cycles,
+        max_high_water=max(highs, default=0),
+        total_write_stalls=sum(stalls),
+    )
+    return point, result
+
+
+def pruned_stream_depth_sweep(
+    base_config: DecoupledConfig,
+    depths: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    tolerance: float = 0.02,
+    margin: float | None = None,
+) -> PrunedSizingResult:
+    """FIFO sizing with surrogate pruning instead of an exhaustive sweep.
+
+    Simulates only {shallowest, middle, deepest} depths to calibrate the
+    surrogate, scores every other depth analytically, then simulates the
+    surviving candidates in ascending order with early exit at the first
+    depth within ``tolerance`` of the deepest.  With ``margin >= eps``
+    (the surrogate's relative error) this recommends the same depth as
+    :func:`repro.core.fifo_sizing.advise_stream_depth` over the same
+    grid — the deepest point's cycles are simulated, so only the
+    candidate side of the comparison carries surrogate error.
+
+    ``margin=None`` derives the margin from the fit's own leave-one-out
+    error via :func:`margin_for_error`, floored at 0.05.
+    """
+    if not depths or list(depths) != sorted(set(depths)):
+        raise ValueError("depths must be ascending and unique")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+
+    calibration_depths = sorted(
+        {depths[0], depths[len(depths) // 2], depths[-1]}
+    )
+    simulated: dict[int, DepthPoint] = {}
+    deepest_result = None
+    for depth in calibration_depths:
+        point, result = _simulate_depth(base_config, depth)
+        simulated[depth] = point
+        deepest_result = result
+    calib = ReportCalibration.from_result(deepest_result)
+
+    feature_rows = {
+        depth: config_features(
+            dataclasses.replace(base_config, stream_depth=depth), calib
+        )
+        for depth in depths
+    }
+    surrogate = CycleSurrogate()
+    fit = surrogate.fit(
+        [feature_rows[d] for d in calibration_depths],
+        [simulated[d].cycles for d in calibration_depths],
+    )
+    if margin is None:
+        # cap the error estimate: a fit this bad should widen the net,
+        # not blow the margin up to infinity
+        eps = min(fit.max_relative_error, 0.5)
+        margin = max(margin_for_error(eps), 0.05)
+    predicted = {
+        depth: float(surrogate.predict(feature_rows[depth]))
+        for depth in depths
+    }
+
+    deepest_cycles = simulated[depths[-1]].cycles
+    threshold = (1.0 + tolerance) * (1.0 + margin) * deepest_cycles
+    candidates = sorted(
+        {d for d in depths if predicted[d] <= threshold}
+        | set(calibration_depths)
+    )
+
+    recommended = depths[-1]
+    for depth in candidates:
+        if depth not in simulated:
+            simulated[depth], _ = _simulate_depth(base_config, depth)
+        if simulated[depth].cycles <= deepest_cycles * (1.0 + tolerance):
+            recommended = depth
+            break
+
+    return PrunedSizingResult(
+        points=[simulated[d] for d in sorted(simulated)],
+        recommended_depth=recommended,
+        tolerance=tolerance,
+        margin=margin,
+        candidate_depths=candidates,
+        simulated_depths=sorted(simulated),
+        predicted=predicted,
+        fit=fit,
+    )
+
+
+@dataclass
+class PrunedGridResult:
+    """Outcome of a surrogate-pruned generic grid sweep."""
+
+    #: indices (into the input grid) on the simulated Pareto frontier
+    frontier_indices: list[int]
+    #: indices the surrogate kept for simulation (incl. calibration)
+    candidate_indices: list[int]
+    #: simulated cycles for every candidate, keyed by grid index
+    simulated_cycles: dict[int, int]
+    #: surrogate predictions for the whole grid
+    predicted: np.ndarray
+    margin: float
+    fit: SurrogateFit | None = None
+
+
+def _default_simulate(config: DecoupledConfig):
+    return DecoupledWorkItems(config).run()
+
+
+def pruned_grid_sweep(
+    configs: Sequence[DecoupledConfig],
+    costs: Sequence[float],
+    margin: float | None = None,
+    simulate: Callable[[DecoupledConfig], object] | None = None,
+) -> PrunedGridResult:
+    """Pareto sweep over an arbitrary config grid, O(frontier) sims.
+
+    ``costs`` is the resource axis (e.g. total FIFO words, channel
+    count) to trade against simulated cycles.  Calibration points are
+    the cost extremes plus quartiles; the frontier reported is the
+    *exact* Pareto frontier over simulated cycles of the surviving
+    candidates.  ``simulate`` may be overridden for testing; it must
+    return an object accepted by
+    :meth:`repro.surrogate.ReportCalibration.from_result` with a
+    ``.cycles`` attribute (a ``DecoupledResult`` qualifies).
+    """
+    if len(configs) != len(costs):
+        raise ValueError("configs and costs must be equal length")
+    if len(configs) < 2:
+        raise ValueError("need at least two grid points")
+    simulate = simulate or _default_simulate
+    cost_arr = np.asarray(costs, dtype=np.float64)
+
+    order = np.argsort(cost_arr, kind="stable")
+    quantile_picks = sorted(
+        {
+            int(order[0]),
+            int(order[len(order) // 4]),
+            int(order[len(order) // 2]),
+            int(order[(3 * len(order)) // 4]),
+            int(order[-1]),
+        }
+    )
+    results = {i: simulate(configs[i]) for i in quantile_picks}
+    calib = ReportCalibration.from_result(results[int(order[-1])])
+
+    features = np.stack(
+        [config_features(cfg, calib) for cfg in configs]
+    )
+    surrogate = CycleSurrogate()
+    fit = surrogate.fit(
+        features[quantile_picks],
+        [results[i].cycles for i in quantile_picks],
+    )
+    if margin is None:
+        # cap the error estimate: a fit this bad should widen the net,
+        # not blow the margin up to infinity
+        eps = min(fit.max_relative_error, 0.5)
+        margin = max(margin_for_error(eps), 0.05)
+    predicted = surrogate.predict(features)
+
+    candidates = sorted(
+        set(pruned_candidate_indices(cost_arr, predicted, margin))
+        | set(quantile_picks)
+    )
+    for i in candidates:
+        if i not in results:
+            results[i] = simulate(configs[i])
+    simulated_cycles = {i: int(results[i].cycles) for i in candidates}
+
+    frontier_local = pareto_indices(
+        cost_arr[candidates], [simulated_cycles[i] for i in candidates]
+    )
+    return PrunedGridResult(
+        frontier_indices=[candidates[j] for j in frontier_local],
+        candidate_indices=candidates,
+        simulated_cycles=simulated_cycles,
+        predicted=predicted,
+        margin=margin,
+        fit=fit,
+    )

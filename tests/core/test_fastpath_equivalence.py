@@ -252,21 +252,107 @@ def test_max_cycles_abort_identical(max_cycles):
 
 
 # ---------------------------------------------------------------------------
-# instrumented runs stay on the reference loop
+# instrumented runs skip too — with identical attribution
 # ---------------------------------------------------------------------------
 
 
-def test_instrumented_run_never_skips():
+def run_both_instrumented(build, keep_lanes=False, tracer=None):
+    """Run ``build()``'s region through both instrumented paths."""
     from repro.obs.stall import StallAttribution
 
-    region, _, _ = build_transfer_only_region(
-        n_work_items=2, values_per_item=512, burst_words=1, stream_depth=2
+    out = []
+    for fast in (False, True):
+        region = build()
+        attribution = StallAttribution(
+            region.name,
+            keep_lanes=keep_lanes,
+            tracer=tracer() if tracer is not None else None,
+        )
+        report = region.run(attribution=attribution, fast_path=fast)
+        out.append((region, attribution, report))
+    return out
+
+
+def test_instrumented_run_skips_and_matches_reference():
+    def build():
+        region, _, _ = build_transfer_only_region(
+            n_work_items=2, values_per_item=512, burst_words=1, stream_depth=2
+        )
+        return region
+
+    (ref_region, _, ref_rep), (fp_region, _, fp_rep) = run_both_instrumented(
+        build
     )
-    report = region.run(attribution=StallAttribution(region.name))
-    assert region.skipped_cycles == 0
-    assert report.stall_report is not None
-    # attribution counts agree with the per-process buckets
-    assert report.stall_report.consistent_with(report.process_stats) == []
+    # the instrumented fast path genuinely skips now
+    assert ref_region.skipped_cycles == 0
+    assert fp_region.skipped_cycles > 0
+    # ... with a field-for-field identical report and stall attribution
+    assert report_fields(ref_rep) == report_fields(fp_rep)
+    assert ref_rep.stall_report.to_dict() == fp_rep.stall_report.to_dict()
+    for report in (ref_rep, fp_rep):
+        assert report.stall_report.consistent_with(report.process_stats) == []
+
+
+def test_instrumented_lanes_identical():
+    """The per-cycle Fig 3 symbol lanes match cycle for cycle."""
+
+    def build():
+        region, _, _ = build_transfer_only_region(
+            n_work_items=3, values_per_item=512, burst_words=2, stream_depth=2
+        )
+        return region
+
+    (_, ref_att, _), (fp_region, fp_att, _) = run_both_instrumented(
+        build, keep_lanes=True
+    )
+    assert fp_region.skipped_cycles > 0
+    assert ref_att.lanes == fp_att.lanes
+
+
+def test_instrumented_trace_spans_identical():
+    """The exported Chrome trace is event-for-event identical."""
+    from repro.obs.stall import reports_from_trace
+    from repro.obs.tracer import ChromeTracer
+
+    def build():
+        region, _, _ = build_transfer_only_region(
+            n_work_items=2, values_per_item=512, burst_words=1, stream_depth=2
+        )
+        return region
+
+    (_, ref_att, _), (fp_region, fp_att, _) = run_both_instrumented(
+        build, tracer=ChromeTracer
+    )
+    assert fp_region.skipped_cycles > 0
+    ref_events = ref_att.tracer.to_dict()
+    fp_events = fp_att.tracer.to_dict()
+    assert ref_events == fp_events
+    ref_reports = reports_from_trace(ref_events)
+    fp_reports = reports_from_trace(fp_events)
+    assert [r.to_dict() for r in ref_reports] == [
+        r.to_dict() for r in fp_reports
+    ]
+
+
+@pytest.mark.parametrize(
+    "name", ["default", "channel_bound", "depth1_streams", "naive_mt"]
+)
+def test_fig3_instrumented_fastpath_identical(name):
+    from repro.obs.stall import StallAttribution
+
+    config = FIG3_CONFIGS[name]
+    reports, skipped = [], []
+    for fast in (False, True):
+        items = DecoupledWorkItems(config)
+        attribution = StallAttribution(items.region.name, keep_lanes=True)
+        report = items.region.run(attribution=attribution, fast_path=fast)
+        reports.append((report, attribution.lanes))
+        skipped.append(items.region.skipped_cycles)
+    (ref_rep, ref_lanes), (fp_rep, fp_lanes) = reports
+    assert report_fields(ref_rep) == report_fields(fp_rep)
+    assert ref_lanes == fp_lanes
+    assert skipped[0] == 0 and skipped[1] > 0
+    assert fp_rep.stall_report.consistent_with(fp_rep.process_stats) == []
 
 
 def test_traced_report_matches_fast_path_report():

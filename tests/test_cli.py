@@ -54,6 +54,27 @@ class TestJsonOutput:
         assert record["headers"] and record["rows"]
         assert set(record["scalars"]) == set(map(str, record["headers"]))
 
+    def test_json_pruned_sweeps_round_trip(self, capsys):
+        """The new pruned-sweep experiments use the same record schema."""
+        assert main(["--json", "fifo-prune", "sweep-prune"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in records] == ["fifo-prune", "sweep-prune"]
+        for record in records:
+            # same round-trip contract the older experiments satisfy
+            assert json.loads(json.dumps(record)) == record
+            assert record["wall_seconds"] >= 0
+            assert record["headers"] and record["rows"]
+            assert set(record["scalars"]) == set(map(str, record["headers"]))
+            assert "recommended depth" in record["notes"] or (
+                "frontier" in record["notes"]
+            )
+        fifo, sweep = records
+        # un-simulated grid points survive coercion as "-" placeholders
+        assert any("-" in row for row in fifo["rows"])
+        assert {len(row) for row in sweep["rows"]} == {
+            len(sweep["headers"])
+        }
+
     def test_json_is_machine_readable_end_to_end(self, capsys):
         assert main(["--json", "table1", "eq1"]) == 0
         records = json.loads(capsys.readouterr().out)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Record the simulator's headline performance numbers.
+
+Measures, on the current machine:
+
+* cycle-simulator throughput (cycles/second) with the scalar kernels
+  and with the vectorized numpy lanes (``vector_lanes=True``),
+* the cycle-skipping fast path's wall-clock speedup on the channel-bound
+  Fig 7 workload (reference loop vs skipping loop),
+* exhaustive vs surrogate-pruned FIFO-sizing sweep wall time,
+* the surrogate's maximum leave-one-out relative error on the honesty
+  calibration set.
+
+Writes ``BENCH_simulator.json`` (committed at the repo root so number
+drift shows up in review; CI uploads the freshly measured file as an
+artifact)::
+
+    PYTHONPATH=src python tools/record_bench.py [-o BENCH_simulator.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+import time
+
+
+def _best_of(fn, n=3):
+    """(best wall seconds, last return value) over ``n`` runs."""
+    best, value = float("inf"), None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def bench_lane_throughput() -> dict:
+    """Scalar vs vectorized simulation of the same decoupled region."""
+    from repro.core.decoupled import DecoupledConfig, DecoupledWorkItems
+    from repro.core.kernel import GammaKernelConfig
+
+    config = DecoupledConfig(
+        n_work_items=6,
+        kernel=GammaKernelConfig(
+            limit_main=512, sector_variances=(1.39, 0.5)
+        ),
+    )
+    scalar_s, scalar = _best_of(
+        lambda: DecoupledWorkItems(config).run()
+    )
+    vector_s, vector = _best_of(
+        lambda: DecoupledWorkItems(
+            dataclasses.replace(config, vector_lanes=True)
+        ).run()
+    )
+    assert vector.cycles == scalar.cycles, "lanes must be bit-identical"
+    return {
+        "cycles": scalar.cycles,
+        "scalar_ms": round(1e3 * scalar_s, 1),
+        "vector_ms": round(1e3 * vector_s, 1),
+        "scalar_cycles_per_s": round(scalar.cycles / scalar_s),
+        "vector_cycles_per_s": round(vector.cycles / vector_s),
+        "vector_speedup": round(scalar_s / vector_s, 2),
+    }
+
+
+def bench_fastpath() -> dict:
+    """Reference loop vs cycle-skipping loop on the Fig 7 workload."""
+    from repro.core.decoupled import build_transfer_only_region
+
+    kwargs = dict(
+        n_work_items=6, values_per_item=4096, burst_words=1, stream_depth=2
+    )
+
+    def run(fast_path):
+        region, _, _ = build_transfer_only_region(**kwargs)
+        report = region.run(fast_path=fast_path)
+        return report, region.skipped_cycles
+
+    ref_s, (ref_report, _) = _best_of(lambda: run(False))
+    fast_s, (fast_report, skipped) = _best_of(lambda: run(True))
+    assert fast_report.cycles == ref_report.cycles
+    return {
+        "cycles": ref_report.cycles,
+        "skipped_cycles": skipped,
+        "reference_ms": round(1e3 * ref_s, 1),
+        "fast_ms": round(1e3 * fast_s, 1),
+        "speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def bench_pruned_sweep() -> dict:
+    """Exhaustive vs surrogate-pruned FIFO sizing over the same grid."""
+    from repro.core.decoupled import DecoupledWorkItems
+    from repro.core.fifo_sizing import advise_stream_depth
+    from repro.harness.sweeps import PRUNE_BASE_CONFIG, PRUNE_DEPTHS
+    from repro.surrogate import pruned_stream_depth_sweep
+
+    depths = PRUNE_DEPTHS + (96, 128)
+    full_s, full = _best_of(
+        lambda: advise_stream_depth(
+            lambda depth: DecoupledWorkItems(
+                dataclasses.replace(
+                    PRUNE_BASE_CONFIG, stream_depth=depth
+                )
+            ).region,
+            depths=depths,
+        )
+    )
+    pruned_s, pruned = _best_of(
+        lambda: pruned_stream_depth_sweep(PRUNE_BASE_CONFIG, depths=depths)
+    )
+    assert pruned.recommended_depth == full.recommended_depth
+    return {
+        "grid_points": len(depths),
+        "simulated_points_pruned": len(pruned.simulated_depths),
+        "recommended_depth": pruned.recommended_depth,
+        "exhaustive_ms": round(1e3 * full_s, 1),
+        "pruned_ms": round(1e3 * pruned_s, 1),
+        "speedup": round(full_s / pruned_s, 2),
+    }
+
+
+def bench_surrogate_error() -> dict:
+    """Max LOOCV relative error on the honesty calibration set."""
+    from repro.core.decoupled import DecoupledWorkItems
+    from repro.surrogate import (
+        DEFAULT_ERROR_BOUND,
+        CycleSurrogate,
+        ReportCalibration,
+        config_features,
+    )
+
+    sys.path.insert(0, "tests")
+    from surrogate.test_model_honesty import CALIBRATION_CONFIGS
+
+    configs = list(CALIBRATION_CONFIGS.values())
+    results = [DecoupledWorkItems(c).run() for c in configs]
+    calibration = ReportCalibration.from_result(results[0])
+    fit = CycleSurrogate().fit(
+        [config_features(c, calibration) for c in configs],
+        [r.cycles for r in results],
+    )
+    assert fit.max_relative_error < DEFAULT_ERROR_BOUND
+    return {
+        "calibration_configs": len(configs),
+        "max_loo_relative_error": round(fit.max_relative_error, 4),
+        "documented_bound": DEFAULT_ERROR_BOUND,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_simulator.json",
+        help="output path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    record = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "lane_throughput": bench_lane_throughput(),
+        "fastpath": bench_fastpath(),
+        "pruned_sweep": bench_pruned_sweep(),
+        "surrogate": bench_surrogate_error(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
