@@ -73,10 +73,36 @@ class JobHandle:
         self._done = threading.Event()
         self._result: JobResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._callbacks_lock = threading.Lock()
 
     @property
     def done(self) -> bool:
         return self._done.is_set()
+
+    @property
+    def error(self) -> BaseException | None:
+        """The resolving error, if any — non-blocking peek for observers."""
+        return self._error
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(handle)`` once the handle resolves (maybe immediately).
+
+        The callback fires from whichever thread resolves the handle
+        (worker, watchdog, shutdown) — callers bridging to an event
+        loop must trampoline with ``loop.call_soon_threadsafe``, which
+        is exactly what :mod:`repro.serve.gateway` does.  Exceptions in
+        callbacks are swallowed: a broken observer must never wedge the
+        resolving thread.
+        """
+        with self._callbacks_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        try:
+            fn(self)
+        except Exception:
+            pass
 
     def result(self, timeout: float | None = None) -> JobResult:
         """Block for the job's result; re-raises a failure as JobFailed."""
@@ -96,7 +122,14 @@ class JobHandle:
     def _fulfill(self, result: JobResult | None, error: BaseException | None):
         self._result = result
         self._error = error
-        self._done.set()
+        with self._callbacks_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:
+                pass
 
 
 class ExecutionEngine:
@@ -173,6 +206,8 @@ class ExecutionEngine:
         default_deadline_s: float | None = None,
         breakers: bool | dict[str, CircuitBreaker] = True,
         breaker_config: dict | None = None,
+        name: str = "engine",
+        worker_prefix: str = "w",
     ):
         if admission not in ("block", "shed"):
             raise ValueError(
@@ -184,9 +219,19 @@ class ExecutionEngine:
             if n_workers < 1:
                 raise ValueError("need at least one worker")
             workers = [
-                DeviceWorker(f"w{i}", device_name=device, config=config)
+                DeviceWorker(
+                    f"{worker_prefix}{i}", device_name=device, config=config
+                )
                 for i in range(n_workers)
             ]
+        self.name = name
+        self.worker_prefix = worker_prefix
+        # defaults for workers added later through scale hooks
+        self._worker_device = device
+        self._worker_config = config
+        self._next_worker_idx = len(workers)
+        self._breakers_enabled = breakers is True or isinstance(breakers, dict)
+        self._breaker_config = breaker_config
         self.admission = admission
         self.submit_timeout_s = submit_timeout_s
         self.retry_policy = retry if retry is not None else RetryPolicy()
@@ -194,7 +239,7 @@ class ExecutionEngine:
         self.default_deadline_s = default_deadline_s
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = MetricsRegistry(prefix="engine.")
-        self.queue = BoundedJobQueue(depth=queue_depth, name="engine_admission")
+        self.queue = BoundedJobQueue(depth=queue_depth, name=f"{name}_admission")
         self.queue.attach_tracer(self.tracer)
         self.batcher = Batcher(
             self.queue,
@@ -288,6 +333,62 @@ class ExecutionEngine:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown(drain=exc_type is None)
+
+    # -- elastic capacity (shard-friendly construction + autoscaler hooks) -------
+
+    @property
+    def n_active_workers(self) -> int:
+        """Workers currently eligible for new batches."""
+        return self.pool.n_active
+
+    def add_worker(self) -> str:
+        """Grow this engine by one device worker (autoscaler scale-up).
+
+        The new worker clones the construction-time device/config, gets
+        the engine's tracer and fault plan, and — when breakers are
+        enabled — its own circuit breaker wired into metrics.  Returns
+        the new worker's name.  Safe mid-run: the pool starts its
+        thread immediately.
+        """
+        if self._shut_down:
+            raise RuntimeError("engine is shut down")
+        worker = DeviceWorker(
+            f"{self.worker_prefix}{self._next_worker_idx}",
+            device_name=self._worker_device,
+            config=self._worker_config,
+        )
+        self._next_worker_idx += 1
+        worker.tracer = self.tracer
+        if self.fault_plan is not None:
+            worker.fault_plan = self.fault_plan
+        breaker = None
+        if self._breakers_enabled:
+            breaker = CircuitBreaker(**(self._breaker_config or {}))
+            breaker.on_transition = (
+                lambda old, new, _name=worker.name: self._on_breaker_transition(
+                    _name, old, new
+                )
+            )
+        self.pool.add_worker(worker, breaker)
+        self.metrics.counter("workers_added").inc()
+        return worker.name
+
+    def remove_worker(self, name: str | None = None) -> str:
+        """Retire one worker (autoscaler scale-down); returns its name.
+
+        With ``name=None`` the idle-most active worker goes: it
+        finishes its in-flight batch, its queued batches re-home to the
+        shared queue, and its stats remain in :meth:`stats`.  The last
+        active worker can never be removed.
+        """
+        if name is None:
+            active = self.pool.active_workers
+            if len(active) <= 1:
+                raise ValueError("cannot retire the last active worker")
+            name = min(active, key=lambda w: w.device_busy_s).name
+        self.pool.remove_worker(name)
+        self.metrics.counter("workers_removed").inc()
+        return name
 
     # -- submission --------------------------------------------------------------
 

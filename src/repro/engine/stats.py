@@ -58,7 +58,7 @@ class EngineStats:
     batches: int
     mean_batch_occupancy: float
     max_batch_occupancy: int
-    queue_wait_s: dict[str, float]  # mean/p50/p95/max over jobs
+    queue_wait_s: dict[str, float]  # mean/p50/p95/p99/max over jobs
     service_s: dict[str, float]
     total_s: dict[str, float]
     wall_seconds: float
@@ -128,9 +128,11 @@ class EngineStats:
             f"submit stalls {self.queue.write_stalls}, "
             f"empty polls {self.queue.read_stalls}",
             f"latency [ms]: wait {1e3 * self.queue_wait_s['mean']:.2f} "
-            f"(p95 {1e3 * self.queue_wait_s['p95']:.2f}), "
+            f"(p95 {1e3 * self.queue_wait_s['p95']:.2f}, "
+            f"p99 {1e3 * self.queue_wait_s.get('p99', 0.0):.2f}), "
             f"service {1e3 * self.service_s['mean']:.2f}, "
-            f"total {1e3 * self.total_s['mean']:.2f}",
+            f"total {1e3 * self.total_s['mean']:.2f} "
+            f"(p99 {1e3 * self.total_s.get('p99', 0.0):.2f})",
             f"modeled: makespan {1e3 * self.modeled_makespan_s:.2f} ms, "
             f"throughput {self.modeled_throughput_jps:.1f} jobs/s",
         ]
@@ -165,7 +167,7 @@ class EngineStats:
 
 
 def summarize(values: list[float]) -> dict[str, float]:
-    """mean/p50/p95/max summary of a latency series (empty-safe).
+    """mean/p50/p95/p99/max summary of a latency series (empty-safe).
 
     Delegates to the shared interpolated-percentile estimator in
     :mod:`repro.obs.percentiles`: ``p50`` is the true median (the old

@@ -53,6 +53,24 @@ registry.register_lazy(
     "repro.harness.sweeps:run_sweep_prune",
     "depth x channels Pareto sweep, surrogate-pruned",
 )
+registry.register_lazy(
+    "timing-prune",
+    "repro.harness.sweeps:run_timing_prune",
+    "replication vs timing-closure sweep, surrogate-pruned "
+    "(slice cost axis, frequency-derated wall time)",
+)
+registry.register_lazy(
+    "serve-tier",
+    "repro.serve.bench:run_serve_tier",
+    "sharded serving tier under heavy-tailed load: "
+    "p50/p99 latency + shed rate per offered-load step",
+)
+registry.register_lazy(
+    "serve-chaos",
+    "repro.serve.bench:run_serve_chaos",
+    "live sharded tier + admission gateway under a seeded "
+    "fault plan (reroutes, typed sheds, zero unresolved jobs)",
+)
 
 __all__ = [
     "registry",

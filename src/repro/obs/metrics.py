@@ -96,7 +96,7 @@ class Histogram:
             return list(self._values)
 
     def snapshot(self) -> dict[str, float]:
-        """count + the shared mean/p50/p95/max summary."""
+        """count + the shared mean/p50/p95/p99/max summary."""
         with self._lock:
             values = list(self._values)
         out = {"count": float(len(values)), "sum": float(sum(values))}

@@ -41,17 +41,20 @@ def percentile(values: list[float], q: float) -> float:
 
 
 def summarize(values: list[float]) -> dict[str, float]:
-    """mean/p50/p95/max summary of a latency series (empty-safe).
+    """mean/p50/p95/p99/max summary of a latency series (empty-safe).
 
     ``p50`` is exactly ``statistics.median`` (the interpolated quantile
-    reduces to it); ``p95`` is the interpolated 95th percentile rather
-    than an index that rounds up to the maximum on short series.
+    reduces to it); ``p95``/``p99`` are the interpolated percentiles
+    rather than an index that rounds up to the maximum on short series.
+    ``p99`` is the tail every serving SLO is written against — the
+    serve-tier benchmark records its trajectory per offered-load step.
     """
     if not values:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
     return {
         "mean": statistics.fmean(values),
         "p50": float(statistics.median(values)),
         "p95": percentile(values, 0.95),
+        "p99": percentile(values, 0.99),
         "max": float(max(values)),
     }

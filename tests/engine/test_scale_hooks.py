@@ -1,0 +1,138 @@
+"""Elastic worker hooks + handle callbacks (the serve tier's substrate)."""
+
+import threading
+
+import pytest
+
+from repro.engine.engine import ExecutionEngine
+from repro.engine.jobs import GammaJob
+
+
+def _jobs(n, seed0=0, samples=256):
+    return [
+        GammaJob(config="Config1", n_samples=samples, seed=seed0 + i)
+        for i in range(n)
+    ]
+
+
+class TestAddWorker:
+    def test_add_while_running(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            assert engine.n_active_workers == 1
+            name = engine.add_worker()
+            assert name == "w1"
+            assert engine.n_active_workers == 2
+            results = engine.run(_jobs(16))
+            assert len(results) == 16
+        stats = engine.stats()
+        assert {w.name for w in stats.workers} == {"w0", "w1"}
+
+    def test_added_worker_gets_breaker_and_fault_plan(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            engine.add_worker()
+            assert set(engine.pool.breakers) == {"w0", "w1"}
+
+    def test_duplicate_name_rejected(self):
+        from repro.engine.pool import DeviceWorker
+
+        with ExecutionEngine(n_workers=1) as engine:
+            with pytest.raises(ValueError):
+                engine.pool.add_worker(DeviceWorker("w0"))
+
+    def test_add_before_start_counts(self):
+        engine = ExecutionEngine(n_workers=1)
+        engine.add_worker()
+        with engine:
+            assert len(engine.run(_jobs(8))) == 8
+
+    def test_auto_inflight_tracks_pool(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            base = engine.pool.max_inflight
+            engine.add_worker()
+            assert engine.pool.max_inflight == base + 2
+
+
+class TestRemoveWorker:
+    def test_remove_drains_gracefully(self):
+        with ExecutionEngine(n_workers=2) as engine:
+            removed = engine.remove_worker()
+            assert engine.n_active_workers == 1
+            assert removed in {"w0", "w1"}
+            results = engine.run(_jobs(12))
+            assert len(results) == 12
+        # the retired worker got no work after retirement completed
+
+    def test_cannot_remove_last_worker(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            with pytest.raises(ValueError):
+                engine.remove_worker()
+
+    def test_remove_by_name(self):
+        with ExecutionEngine(n_workers=2) as engine:
+            assert engine.remove_worker("w1") == "w1"
+            active = {w.name for w in engine.pool.active_workers}
+            assert active == {"w0"}
+
+    def test_unknown_name_rejected(self):
+        with ExecutionEngine(n_workers=2) as engine:
+            with pytest.raises(ValueError):
+                engine.remove_worker("nope")
+
+    def test_add_back_after_remove(self):
+        with ExecutionEngine(n_workers=2) as engine:
+            engine.remove_worker("w1")
+            name = engine.add_worker()
+            assert name == "w2"
+            assert engine.n_active_workers == 2
+            assert len(engine.run(_jobs(10))) == 10
+
+
+class TestDoneCallbacks:
+    def test_callback_fires_on_completion(self):
+        fired = threading.Event()
+        seen = []
+        with ExecutionEngine(n_workers=1) as engine:
+            handle = engine.submit(_jobs(1)[0])
+            handle.add_done_callback(
+                lambda h: (seen.append(h), fired.set())
+            )
+            handle.result(timeout=30)
+            assert fired.wait(5)
+        assert seen[0] is handle
+        assert seen[0].error is None
+
+    def test_callback_after_done_fires_immediately(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            handle = engine.submit(_jobs(1)[0])
+            handle.result(timeout=30)
+            seen = []
+            handle.add_done_callback(seen.append)
+            assert seen == [handle]
+
+    def test_callback_exception_is_swallowed(self):
+        with ExecutionEngine(n_workers=1) as engine:
+            handle = engine.submit(_jobs(1)[0])
+
+            def _boom(h):
+                raise RuntimeError("observer bug")
+
+            handle.add_done_callback(_boom)
+            # the resolving thread must not be wedged by the bad observer
+            assert handle.result(timeout=30) is not None
+
+    def test_error_visible_to_callback(self):
+        from repro.engine.resilience import FaultPlan, FaultRule, WorkerFault
+
+        plan = FaultPlan(
+            rules=[FaultRule(scope="job", mode="fail", probability=1.0)],
+            seed=3,
+        )
+        done = threading.Event()
+        captured = []
+        with ExecutionEngine(n_workers=1, faults=plan) as engine:
+            handle = engine.submit(_jobs(1, seed0=3)[0])
+            handle.add_done_callback(
+                lambda h: (captured.append(h.error), done.set())
+            )
+            assert done.wait(10)
+        assert isinstance(captured[0], WorkerFault)

@@ -52,13 +52,21 @@ class TestSummarize:
             "mean": 2.5,
             "p50": 2.5,
             "p95": pytest.approx(3.85),
+            "p99": pytest.approx(3.97),
             "max": 4.0,
         }
 
     def test_empty_safe(self):
         assert summarize([]) == {
-            "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
         }
+
+    def test_p99_sits_between_p95_and_max(self):
+        # the serving SLO tail: tighter than max, beyond p95
+        values = [float(i) for i in range(1, 101)]
+        out = summarize(values)
+        assert out["p95"] < out["p99"] < out["max"]
+        assert out["p99"] == pytest.approx(99.01)
 
     def test_engine_summarize_delegates(self):
         """The engine's summarize is the shared estimator (the p50
@@ -79,4 +87,5 @@ class TestSummarize:
         snap = h.snapshot()
         assert snap["p50"] == 2.5
         assert snap["p95"] == pytest.approx(3.85)
+        assert snap["p99"] == pytest.approx(3.97)
         assert snap["count"] == 4.0

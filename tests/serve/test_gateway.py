@@ -1,0 +1,173 @@
+"""Admission gateway: token buckets, pre-shedding, asyncio bridge."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.engine import ExecutionEngine
+from repro.engine.jobs import GammaJob
+from repro.engine.resilience import JobDeadlineExceeded
+from repro.serve.gateway import (
+    AdmissionGateway,
+    ServiceEstimate,
+    TenantPolicy,
+    TenantThrottled,
+    TokenBucket,
+)
+from repro.engine.queue import JobQueueFull
+
+
+def _job(seed=1, n=256, deadline_s=None):
+    return GammaJob(
+        config="Config1", n_samples=n, seed=seed, deadline_s=deadline_s
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert all(bucket.try_acquire(now=0.0) for _ in range(3))
+        assert not bucket.try_acquire(now=0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2)
+        assert bucket.try_acquire(now=0.0)
+        assert bucket.try_acquire(now=0.0)
+        assert not bucket.try_acquire(now=0.0)
+        # half a second refills one token at 2/s
+        assert bucket.try_acquire(now=0.5)
+        assert not bucket.try_acquire(now=0.5)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.try_acquire(now=0.0)
+        assert bucket.available(now=1000.0) == pytest.approx(2.0)
+
+    def test_virtual_clock_is_pure(self):
+        a = TokenBucket(rate=5.0, burst=10)
+        b = TokenBucket(rate=5.0, burst=10)
+        times = [0.0, 0.01, 0.02, 0.5, 0.5, 0.6, 2.0]
+        assert [a.try_acquire(now=t) for t in times] == [
+            b.try_acquire(now=t) for t in times
+        ]
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestServiceEstimate:
+    def test_first_observation_seeds_estimate(self):
+        est = ServiceEstimate(alpha=0.5)
+        est.observe(2.0)
+        assert est.value == pytest.approx(2.0)
+
+    def test_ewma_converges(self):
+        est = ServiceEstimate(alpha=0.5)
+        est.observe(2.0)
+        est.observe(4.0)
+        assert est.value == pytest.approx(3.0)
+
+
+class _RecordingTier:
+    """Captures submits; hands back inert handles (no engine involved)."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, job):
+        from repro.engine.engine import JobHandle
+
+        self.submitted.append(job)
+        return JobHandle(job)
+
+
+class TestAdmissionSync:
+    def test_throttles_over_contract(self):
+        tier = _RecordingTier()
+        gw = AdmissionGateway(
+            tier, default_policy=TenantPolicy(rate=1.0, burst=2.0)
+        )
+        gw.admit_sync("t1", _job(seed=1), now=0.0)
+        gw.admit_sync("t1", _job(seed=2), now=0.0)
+        with pytest.raises(TenantThrottled):
+            gw.admit_sync("t1", _job(seed=3), now=0.0)
+        # TenantThrottled IS a JobQueueFull: one except clause catches both
+        assert issubclass(TenantThrottled, JobQueueFull)
+        # other tenants have their own bucket
+        gw.admit_sync("t2", _job(seed=4), now=0.0)
+        assert gw.metrics.counter("tenant_throttled").value == 1
+
+    def test_per_tenant_policy_override(self):
+        tier = _RecordingTier()
+        gw = AdmissionGateway(
+            tier,
+            default_policy=TenantPolicy(rate=1.0, burst=1.0),
+            policies={"vip": TenantPolicy(rate=100.0, burst=10.0)},
+        )
+        for i in range(5):
+            gw.admit_sync("vip", _job(seed=i), now=0.0)
+        with pytest.raises(TenantThrottled):
+            gw.admit_sync("small", _job(seed=9), now=0.0)
+            gw.admit_sync("small", _job(seed=10), now=0.0)
+
+    def test_deadline_preshed_needs_evidence(self):
+        tier = _RecordingTier()
+        gw = AdmissionGateway(tier, deadline_headroom=1.0)
+        # no completions yet: the gateway has no opinion, job passes
+        gw.admit_sync("t", _job(seed=1, deadline_s=0.001), now=0.0)
+        gw.estimate.observe(10.0)  # service far beyond any budget
+        with pytest.raises(JobDeadlineExceeded):
+            gw.admit_sync("t", _job(seed=2, deadline_s=0.001), now=1.0)
+        assert gw.metrics.counter("deadline_preshed").value == 1
+        # jobs without a deadline never pre-shed
+        gw.admit_sync("t", _job(seed=3), now=2.0)
+
+
+class TestAsyncBridge:
+    def test_submit_and_await_result(self):
+        async def scenario():
+            with ExecutionEngine(n_workers=1) as engine:
+                gw = AdmissionGateway(engine)
+                future = await gw.submit("tenant", _job(seed=5))
+                result = await asyncio.wait_for(future, timeout=30)
+                return result
+
+        result = asyncio.run(scenario())
+        assert len(result.payload) == 256
+
+    def test_await_reraises_typed_error(self):
+        from repro.engine.resilience import FaultPlan, FaultRule, WorkerFault
+
+        plan = FaultPlan(
+            rules=[FaultRule(scope="job", mode="fail", probability=1.0)],
+            seed=6,
+        )
+
+        async def scenario():
+            with ExecutionEngine(n_workers=1, faults=plan) as engine:
+                gw = AdmissionGateway(engine)
+                future = await gw.submit("tenant", _job(seed=6))
+                with pytest.raises(WorkerFault):
+                    await asyncio.wait_for(future, timeout=30)
+
+        asyncio.run(scenario())
+
+    def test_completion_feeds_estimate(self):
+        async def scenario():
+            with ExecutionEngine(n_workers=1) as engine:
+                gw = AdmissionGateway(engine)
+                futures = [
+                    await gw.submit("tenant", _job(seed=i)) for i in range(4)
+                ]
+                await asyncio.gather(*futures)
+                return gw
+
+        gw = asyncio.run(scenario())
+        assert gw.estimate.count == 4
+        assert gw.estimate.value > 0.0
+        snap = gw.snapshot()
+        assert snap["gateway.completed"] == 4
+        assert snap["gateway.tenants_seen"] == 1

@@ -1,0 +1,82 @@
+"""serve-tier / serve-chaos drivers: registry, schema, small live runs."""
+
+import json
+
+import pytest
+
+from repro.harness import registry
+from repro.serve.bench import (
+    default_serve_chaos_plan,
+    run_serve_chaos,
+    run_serve_tier,
+)
+
+
+class TestRegistry:
+    def test_serving_experiments_registered(self):
+        names = registry.experiment_names()
+        for name in ("serve-tier", "serve-chaos", "timing-prune"):
+            assert name in names
+
+    def test_lazy_resolution_round_trip(self):
+        fn = registry.get_runner("serve-tier")
+        assert callable(fn)
+
+
+class TestServeTierDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # small but real: 3 offered-load steps (the acceptance floor)
+        return run_serve_tier(
+            n_jobs=300, multipliers=(0.5, 2.0, 8.0)
+        )
+
+    def test_row_per_step(self, result):
+        assert len(result.rows) == 3
+        assert "p99 [ms]" in result.headers
+
+    def test_step_schema_has_p99(self, result):
+        steps = result.series["steps"]
+        assert len(steps) == 3
+        for step in steps:
+            assert set(step["latency_s"]) == {
+                "mean", "p50", "p95", "p99", "max"
+            }
+            for key in (
+                "offered_jps", "completed", "shed_rate", "shed_throttled",
+                "shed_queue_full", "shed_deadline", "throughput_jps",
+                "mean_batch_occupancy", "batches",
+            ):
+                assert key in step
+
+    def test_series_is_json_clean(self, result):
+        # the --json path and record_bench both dump this verbatim
+        json.dumps(result.series)
+
+    def test_workload_provenance_recorded(self, result):
+        assert result.series["workload"]["seed"] == 20170529
+        assert result.series["tier"]["n_shards"] == 4
+
+    def test_render_mentions_tier(self, result):
+        assert "4 shards" in result.render()
+
+
+class TestServeChaosDriver:
+    def test_plan_targets_one_shard(self):
+        plan = default_serve_chaos_plan(seed=5)
+        kills = [r for r in plan.rules if r.mode == "kill"]
+        assert len(kills) == 1
+        assert kills[0].match == "s0w1"
+
+    def test_small_chaos_run_resolves_everything(self):
+        result = run_serve_chaos(
+            n_jobs=60, n_shards=2, workers_per_shard=2, speedup=20.0
+        )
+        row = dict(zip(result.headers, result.rows[0]))
+        assert row["unresolved"] == 0
+        assert row["completed"] > 0
+        # outcome accounting covers every trace event
+        assert (
+            row["completed"] + row["throttled"] + row["queue shed"]
+            + row["deadline shed"] + row["failed"]
+        ) == 60

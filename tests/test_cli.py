@@ -75,6 +75,23 @@ class TestJsonOutput:
             len(sweep["headers"])
         }
 
+    def test_json_timing_prune_round_trip(self, capsys):
+        """The timing-closure sweep rides the same record schema."""
+        assert main(["--json", "timing-prune"]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert record["name"] == "timing-prune"
+        assert json.loads(json.dumps(record)) == record
+        assert record["wall_seconds"] >= 0
+        assert set(record["scalars"]) == set(map(str, record["headers"]))
+        assert "derated clock [MHz]" in record["headers"]
+        assert "frontier" in record["notes"]
+        # every row coerces cleanly whether its point was simulated or
+        # pruned to a "-" placeholder (a 6-point grid may retain all 6)
+        assert {len(row) for row in record["rows"]} == {
+            len(record["headers"])
+        }
+        assert "simulated" in record["notes"]
+
     def test_json_is_machine_readable_end_to_end(self, capsys):
         assert main(["--json", "table1", "eq1"]) == 0
         records = json.loads(capsys.readouterr().out)

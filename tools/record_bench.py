@@ -16,6 +16,15 @@ drift shows up in review; CI uploads the freshly measured file as an
 artifact)::
 
     PYTHONPATH=src python tools/record_bench.py [-o BENCH_simulator.json]
+
+``--suite serving`` records the serving-tier latency baseline instead
+(``BENCH_serving.json``): the offered-load sweep of the sharded tier on
+the virtual clock — p50/p99 latency, shed breakdown and goodput per
+step.  Everything under ``"steps"`` is a pure function of the pinned
+seed (byte-reproducible); only the environment header and
+``wall_seconds`` vary per machine::
+
+    PYTHONPATH=src python tools/record_bench.py --suite serving
 """
 
 from __future__ import annotations
@@ -153,21 +162,50 @@ def bench_surrogate_error() -> dict:
     }
 
 
+def bench_serving() -> dict:
+    """Offered-load sweep of the sharded tier (virtual clock).
+
+    The per-step series is deterministic under the pinned seed; only
+    ``wall_seconds`` (how long the simulation itself took) varies.
+    """
+    from repro.serve.bench import run_serve_tier
+
+    wall_s, result = _best_of(lambda: run_serve_tier(), n=1)
+    return {
+        "wall_seconds": round(wall_s, 2),
+        "experiment": result.experiment,
+        "workload": result.series["workload"],
+        "tier": result.series["tier"],
+        "steps": result.series["steps"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "-o", "--output", default="BENCH_simulator.json",
-        help="output path (default: %(default)s)",
+        "-o", "--output", default=None,
+        help="output path (default: BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--suite", choices=("simulator", "serving"), default="simulator",
+        help="benchmark suite to record (default: %(default)s)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = f"BENCH_{args.suite}.json"
     record = {
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "lane_throughput": bench_lane_throughput(),
-        "fastpath": bench_fastpath(),
-        "pruned_sweep": bench_pruned_sweep(),
-        "surrogate": bench_surrogate_error(),
     }
+    if args.suite == "simulator":
+        record.update(
+            lane_throughput=bench_lane_throughput(),
+            fastpath=bench_fastpath(),
+            pruned_sweep=bench_pruned_sweep(),
+            surrogate=bench_surrogate_error(),
+        )
+    else:
+        record["serving"] = bench_serving()
     with open(args.output, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
