@@ -112,6 +112,55 @@ def trace_report(path: str) -> int:
     return 0
 
 
+def request_trace_report(path: str, top: int = 10) -> int:
+    """Print the critical-path decomposition of a request-trace export.
+
+    One row per p99-tail exemplar (slowest first): where the end-to-end
+    latency went — queue wait, batch formation, retries, the final
+    execute — with the segments summing to the total by construction.
+    """
+    from repro.obs import critical_path_report, request_trace_from_json
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = request_trace_from_json(fh.read())
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"cannot read request trace {path!r}: {exc}", file=sys.stderr)
+        return 2
+    rows = critical_path_report(payload, top=top)
+    if not rows:
+        print(
+            f"request trace {path!r} has no completed exemplars "
+            "(run with --trace-requests on a workload that completes "
+            "jobs, e.g. `python -m repro --trace-requests rt.json "
+            "serve-tier`)",
+            file=sys.stderr,
+        )
+        return 1
+    snap = payload["request_trace"]
+    print(
+        f"request-trace: {snap['minted']} minted, "
+        f"{snap['committed']} committed chains, "
+        f"sample rate {snap['sample_rate']:g}, "
+        f"terminals {snap['terminals']}"
+    )
+    print()
+    header = (
+        f"{'trace_id':<18} {'total[ms]':>10} {'queue':>8} {'batch':>8} "
+        f"{'retry':>8} {'execute':>8} {'att':>4}  terminal"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['trace_id']:<18} {1e3 * row['total_s']:>10.3f} "
+            f"{1e3 * row['queue_s']:>8.3f} {1e3 * row['batch_s']:>8.3f} "
+            f"{1e3 * row['retry_s']:>8.3f} {1e3 * row['execute_s']:>8.3f} "
+            f"{row['attempts']:>4d}  {row['terminal']}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     experiments = _experiments()
     parser = argparse.ArgumentParser(
@@ -142,6 +191,29 @@ def main(argv: list[str] | None = None) -> int:
         "region experiments, pipeline spans for serve-bench",
     )
     parser.add_argument(
+        "--trace-requests",
+        metavar="OUT.json",
+        default=None,
+        help="record per-request span chains (gateway→shard→queue→batch→"
+        "worker) into OUT.json; read back with "
+        "`trace-report --requests OUT.json`",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling rate for successful request chains under "
+        "--trace-requests (errors/sheds are always kept; default 1.0)",
+    )
+    parser.add_argument(
+        "--requests",
+        action="store_true",
+        help="with trace-report: the file is a --trace-requests export; "
+        "print the per-request critical-path table instead of stall "
+        "attribution",
+    )
+    parser.add_argument(
         "--faults",
         metavar="PLAN.json",
         default=None,
@@ -149,7 +221,9 @@ def main(argv: list[str] | None = None) -> int:
         "docs/resilience.md) passed to every selected experiment that "
         "accepts a `faults` parameter (serve-bench, chaos)",
     )
-    args = parser.parse_args(argv)
+    # intermixed: `trace-report --requests rt.json` puts an option
+    # between positionals, which plain parse_args cannot re-enter
+    args = parser.parse_intermixed_args(argv)
 
     if args.list:
         for name in experiments:
@@ -159,7 +233,11 @@ def main(argv: list[str] | None = None) -> int:
     selected = args.experiments or list(experiments)
     if selected and selected[0] == "trace-report":
         if len(selected) != 2:
-            parser.error("usage: python -m repro trace-report TRACE.json")
+            parser.error(
+                "usage: python -m repro trace-report [--requests] TRACE.json"
+            )
+        if args.requests:
+            return request_trace_report(selected[1])
         return trace_report(selected[1])
     unknown = [name for name in selected if name not in experiments]
     if unknown:
@@ -199,6 +277,15 @@ def main(argv: list[str] | None = None) -> int:
         tracer = ChromeTracer()
         set_tracer(tracer)
 
+    request_log = None
+    if args.trace_requests is not None:
+        from repro.obs import RequestTraceLog, set_request_log
+
+        if not 0.0 <= args.trace_sample <= 1.0:
+            parser.error("--trace-sample must be in [0, 1]")
+        request_log = RequestTraceLog(sample_rate=args.trace_sample)
+        set_request_log(request_log)
+
     records = []
     for name in selected:
         t0 = time.perf_counter()
@@ -228,6 +315,18 @@ def main(argv: list[str] | None = None) -> int:
         set_tracer(None)
         n_events = tracer.export(args.trace)
         print(f"trace: {n_events} events -> {args.trace}", file=sys.stderr)
+    if request_log is not None:
+        from repro.obs import set_request_log
+
+        set_request_log(None)
+        n_chains = request_log.export(args.trace_requests)
+        snap = request_log.snapshot()
+        print(
+            f"request trace: {n_chains} chains "
+            f"({snap['minted']} minted, terminals {snap['terminals']}) "
+            f"-> {args.trace_requests}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(records, indent=2))
     return 0

@@ -27,6 +27,7 @@ asks for, shaped exactly like the paper's §III dataflow one level up:
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from typing import Iterable, Sequence
@@ -238,7 +239,13 @@ class ExecutionEngine:
         self.fault_plan = faults
         self.default_deadline_s = default_deadline_s
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.metrics = MetricsRegistry(prefix="engine.")
+        # bounded histograms: an engine inside a serving tier observes
+        # latencies for as long as the tier lives, so the registry must
+        # not grow with job count (benchmarks that want exact
+        # percentiles read EngineStats records, not these)
+        self.metrics = MetricsRegistry(
+            prefix="engine.", bounded_histograms=True
+        )
         self.queue = BoundedJobQueue(depth=queue_depth, name=f"{name}_admission")
         self.queue.attach_tracer(self.tracer)
         self.batcher = Batcher(
@@ -273,6 +280,12 @@ class ExecutionEngine:
         )
         self._handles: dict[int, JobHandle] = {}
         self._records: list[JobRecord] = []
+        # slowest-K latency exemplars: (total_s, job_id, trace_id,
+        # worker, batch_id) min-heap, kept only for traced jobs so the
+        # BENCH p99 rows carry debuggable trace ids
+        self._exemplars: list[tuple] = []
+        self._exemplar_k = 8
+        self._trace_sampling: float | None = None
         self._state_lock = threading.Lock()
         self._jobs_shed = 0
         self._jobs_deadline_shed = 0
@@ -439,6 +452,15 @@ class ExecutionEngine:
         except EngineError as exc:
             with self._state_lock:
                 self._handles.pop(job.job_id, None)
+            if job.trace is not None:
+                # non-terminal: a sharded tier may still spill this job
+                # to another shard; whoever decides finality (sharding,
+                # gateway) emits the terminal shed
+                job.trace.emit(
+                    "queue", "queue_shed", t=time.monotonic(),
+                    status="shed", engine=self.name,
+                    error=type(exc).__name__,
+                )
             if isinstance(exc, SubmitTimeout) and job.expired():
                 # the deadline, not the submit timeout, was binding
                 with self._state_lock:
@@ -455,6 +477,11 @@ class ExecutionEngine:
         with self._state_lock:
             self._admitted += 1
         self.metrics.counter("jobs_submitted").inc()
+        if job.trace is not None:
+            job.trace.emit(
+                "queue", "enqueue", t=handle.submitted_at,
+                engine=self.name, occupancy=len(self.queue),
+            )
         if job.deadline_at is not None:
             # watchdog: resolve the handle the instant the deadline
             # passes, wherever the job is stuck (queue, batch, worker)
@@ -562,7 +589,30 @@ class ExecutionEngine:
         result: JobResult | None,
         error: BaseException | None,
     ) -> None:
-        """Single funnel for handle resolution (keeps drain accounting)."""
+        """Single funnel for handle resolution (keeps drain accounting).
+
+        Also the single *terminal* emitter for admitted traced jobs:
+        every resolution path (worker completion, terminal failure,
+        deadline watchdog, shutdown abandonment) funnels through here,
+        so a chain gets exactly one terminal — and the log's
+        first-terminal-wins idempotency covers outer layers (gateway
+        catch-all) that close chains the engine never admitted.
+        """
+        job = handle.job
+        if job.trace is not None:
+            now = time.monotonic()
+            if error is None:
+                kind, status = "complete", "ok"
+            elif isinstance(error, JobDeadlineExceeded):
+                kind, status = "deadline", "shed"
+            elif isinstance(error, JobQueueClosed):
+                kind, status = "closed", "error"
+            else:
+                kind, status = "failed", "error"
+            job.trace.emit(
+                "request", kind, t=now, status=status, terminal=True,
+                latency_s=now - handle.submitted_at, engine=self.name,
+            )
         handle._fulfill(result, error)
         with self._state_lock:
             self._resolved += 1
@@ -625,6 +675,15 @@ class ExecutionEngine:
         avoid = frozenset(outcome.batch.avoid | {outcome.worker})
         retry_batch = Batch(jobs=jobs, attempt=attempt, avoid=avoid)
         delay = self.retry_policy.delay_s(attempt - 1, key=jobs[0].job_id)
+        retry_at = time.monotonic()
+        for j in jobs:
+            if j.trace is not None:
+                j.trace.emit(
+                    "retry", "retry_scheduled", t=retry_at,
+                    attempt=attempt, delay_s=delay,
+                    avoid=sorted(avoid),
+                    batch_id=retry_batch.batch_id,
+                )
         if self._jobs_track is not None:
             self.tracer.instant(
                 self._jobs_track, "retry_scheduled",
@@ -661,6 +720,22 @@ class ExecutionEngine:
                     handle = self._handles.get(job.job_id)
                     if handle is not None:
                         handle.picked_up_at = now
+            for job in batch.jobs:
+                if job.trace is None:
+                    continue
+                with self._state_lock:
+                    handle = self._handles.get(job.job_id)
+                if handle is None:
+                    continue
+                job.trace.emit(
+                    "queue", "wait", t=handle.submitted_at,
+                    dur=now - handle.submitted_at, engine=self.name,
+                )
+                job.trace.emit(
+                    "batch", "batch", t=now,
+                    batch_id=batch.batch_id, size=batch.size,
+                    attempt=batch.attempt,
+                )
             self.pool.dispatch(batch)
 
     def _on_batch(self, outcome: BatchOutcome) -> None:
@@ -676,6 +751,21 @@ class ExecutionEngine:
             outcome.errors,
             outcome.device_seconds,
         ):
+            if job.trace is not None:
+                job.trace.emit(
+                    "worker", "execute",
+                    t=now - outcome.service_wall_s,
+                    dur=outcome.service_wall_s,
+                    status="ok" if error is None else "error",
+                    worker=outcome.worker,
+                    batch_id=outcome.batch.batch_id,
+                    attempt=outcome.batch.attempt,
+                    **(
+                        {"error": type(error).__name__}
+                        if error is not None
+                        else {}
+                    ),
+                )
             if error is not None and self._retry_candidate(job, error):
                 retry_jobs.append(job)
                 continue  # the handle stays pending until the retry lands
@@ -720,6 +810,23 @@ class ExecutionEngine:
             self.metrics.counter("jobs_completed").inc()
             self.metrics.histogram("queue_wait_s").observe(queue_wait)
             self.metrics.histogram("total_s").observe(result.total_s)
+            if job.trace is not None:
+                # slowest-K exemplars make the BENCH p99 rows debuggable:
+                # a tail latency comes with the trace id to pull its chain
+                entry = (
+                    result.total_s,
+                    job.job_id,
+                    job.trace.trace_id,
+                    outcome.worker,
+                    outcome.batch.batch_id,
+                )
+                with self._state_lock:
+                    if self._trace_sampling is None:
+                        self._trace_sampling = job.trace.log.sample_rate
+                    if len(self._exemplars) < self._exemplar_k:
+                        heapq.heappush(self._exemplars, entry)
+                    elif entry > self._exemplars[0]:
+                        heapq.heapreplace(self._exemplars, entry)
             if self._jobs_track is not None:
                 self.tracer.complete(
                     self._jobs_track,
@@ -749,6 +856,8 @@ class ExecutionEngine:
             shed = self._jobs_shed
             deadline_shed = self._jobs_deadline_shed
             retries = self._retries
+            exemplars = sorted(self._exemplars, reverse=True)
+            trace_sampling = self._trace_sampling
         batch_sizes: dict[int, int] = {}
         for r in records:
             batch_sizes[r.batch_id] = r.batch_size
@@ -793,6 +902,17 @@ class ExecutionEngine:
             ),
             workers=workers,
             records=records,
+            latency_exemplars=[
+                {
+                    "total_s": total_s,
+                    "job_id": job_id,
+                    "trace_id": trace_id,
+                    "worker": worker,
+                    "batch_id": batch_id,
+                }
+                for total_s, job_id, trace_id, worker, batch_id in exemplars
+            ],
+            trace_sampling=trace_sampling,
         )
 
 

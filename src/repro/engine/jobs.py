@@ -71,6 +71,12 @@ class Job:
     job_id: int = field(default_factory=_next_job_id, init=False)
     #: absolute monotonic deadline, stamped by the engine at admission
     deadline_at: float | None = field(default=None, init=False, compare=False)
+    #: per-request :class:`repro.obs.TraceContext`, attached by the
+    #: admission gateway when request tracing is on (None = untraced;
+    #: every pipeline hop guards on that one attribute)
+    trace: object | None = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     # -- engine contract -----------------------------------------------------------
 

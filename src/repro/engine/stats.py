@@ -71,6 +71,13 @@ class EngineStats:
     faults_injected: dict = field(default_factory=dict)  # mode -> count
     workers: list[WorkerStats] = field(default_factory=list)
     records: list[JobRecord] = field(default_factory=list)
+    #: slowest-K completed jobs with their trace ids (traced runs only):
+    #: [{total_s, job_id, trace_id, worker, batch_id}], slowest first —
+    #: the debuggable handle behind a BENCH p99 row
+    latency_exemplars: list[dict] = field(default_factory=list)
+    #: head-sampling rate of the request log that produced the
+    #: exemplars (None = request tracing was off)
+    trace_sampling: float | None = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -112,6 +119,8 @@ class EngineStats:
             "breakers": {name: dict(snap) for name, snap in self.breakers.items()},
             "faults_injected": dict(self.faults_injected),
             "workers": [asdict(w) for w in self.workers],
+            "latency_exemplars": [dict(e) for e in self.latency_exemplars],
+            "trace_sampling": self.trace_sampling,
         }
         if include_records:
             out["records"] = [asdict(r) for r in self.records]

@@ -24,8 +24,23 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BoundedHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.percentiles import percentile, summarize
+from repro.obs.rtrace import (
+    RequestTraceLog,
+    SpanEvent,
+    TraceContext,
+    critical_path,
+    critical_path_report,
+    derive_trace_id,
+    request_trace_from_json,
+)
 from repro.obs.stall import (
     StallAttribution,
     StallReport,
@@ -35,6 +50,7 @@ from repro.obs.stall import (
 from repro.obs.tracer import ChromeTracer, NullTracer, Tracer, Track
 
 __all__ = [
+    "BoundedHistogram",
     "Counter",
     "Gauge",
     "Histogram",
@@ -49,9 +65,19 @@ __all__ = [
     "NullTracer",
     "Tracer",
     "Track",
+    "RequestTraceLog",
+    "SpanEvent",
+    "TraceContext",
+    "critical_path",
+    "critical_path_report",
+    "derive_trace_id",
+    "request_trace_from_json",
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "get_request_log",
+    "set_request_log",
+    "use_request_log",
 ]
 
 _NULL = NullTracer()
@@ -82,3 +108,41 @@ def use_tracer(tracer: Tracer):
         yield tracer
     finally:
         set_tracer(previous)
+
+
+_global_request_log: RequestTraceLog | None = None
+
+
+def get_request_log() -> RequestTraceLog | None:
+    """The process-wide request-trace log (``None`` = tracing off).
+
+    The serve layers resolve this when not handed an explicit log:
+    with ``None`` (the default) no :class:`TraceContext` is ever
+    minted and every instrumentation point is a single attribute
+    check — untraced tiers stay on the fast path.
+    """
+    return _global_request_log
+
+
+def set_request_log(
+    log: RequestTraceLog | None,
+) -> RequestTraceLog | None:
+    """Install ``log`` globally (``None`` disables request tracing).
+
+    Returns the previously installed log so callers can restore it.
+    The CLI's ``--trace-requests`` flag is the canonical caller.
+    """
+    global _global_request_log
+    previous = _global_request_log
+    _global_request_log = log
+    return previous
+
+
+@contextmanager
+def use_request_log(log: RequestTraceLog):
+    """Scoped :func:`set_request_log`; restores the previous log."""
+    previous = set_request_log(log)
+    try:
+        yield log
+    finally:
+        set_request_log(previous)

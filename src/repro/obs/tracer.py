@@ -256,7 +256,8 @@ class ChromeTracer(Tracer):
             "displayTimeUnit": "ms",
             "otherData": {
                 "clockDomains": "cycle: 1us==1cycle; modeled: device "
-                "timeline; default: host wall time",
+                "timeline; request: per-request spans on the emitting "
+                "tier's clock (virtual or wall); default: host wall time",
             },
         }
 

@@ -36,7 +36,9 @@ from repro.serve.gateway import (
 from repro.serve.loadgen import (
     TierSpec,
     TraceEvent,
+    VirtualChaos,
     WorkloadSpec,
+    default_virtual_chaos,
     generate_trace,
     job_from_event,
     offered_load_sweep,
@@ -46,6 +48,7 @@ from repro.serve.loadgen import (
     trace_to_json,
 )
 from repro.serve.sharding import ShardedEngine, ShardRing, stable_hash
+from repro.serve.telemetry import TierTelemetry
 
 __all__ = [
     "AdmissionGateway",
@@ -59,10 +62,13 @@ __all__ = [
     "TenantPolicy",
     "TenantThrottled",
     "TierSpec",
+    "TierTelemetry",
     "TokenBucket",
     "TraceEvent",
+    "VirtualChaos",
     "WorkloadSpec",
     "default_serve_chaos_plan",
+    "default_virtual_chaos",
     "generate_trace",
     "job_from_event",
     "offered_load_sweep",

@@ -153,10 +153,17 @@ class Autoscaler:
         out: dict[str, ShardSignals] = {}
         for name, shard in tier.shards.items():
             occupancy = len(shard.queue) / shard.queue.depth
-            waits = shard.metrics.histogram("queue_wait_s").values()
+            hist = shard.metrics.histogram("queue_wait_s")
+            # the engine's bounded backend keeps a recent-observation
+            # window instead of full history; either way the signal is
+            # the tail of the newest `window` waits
+            if hasattr(hist, "recent"):
+                waits = hist.recent(window)
+            else:
+                waits = hist.values()[-window:]
             out[name] = ShardSignals(
                 occupancy=occupancy,
-                wait_p99_s=percentile(waits[-window:], 0.99),
+                wait_p99_s=percentile(waits, 0.99),
                 active_workers=shard.n_active_workers,
             )
         return out

@@ -30,6 +30,7 @@ from repro.serve.gateway import AdmissionGateway, TenantPolicy
 from repro.serve.loadgen import (
     TierSpec,
     WorkloadSpec,
+    default_virtual_chaos,
     generate_trace,
     offered_load_sweep,
     replay_trace,
@@ -63,11 +64,19 @@ def run_serve_tier(
     deadline_fraction: float = 0.25,
     tenant_rate: float = 150.0,
     tenant_burst: float = 300.0,
+    spill: int = 1,
+    chaos_seed: int | None = 0,
 ) -> ExperimentResult:
     """Offered-load sweep of the sharded tier on the virtual clock.
 
     One row per load multiplier; deterministic for a given seed (this
-    is what ``tools/record_bench.py --suite serving`` records).
+    is what ``tools/record_bench.py --suite serving`` records).  The
+    default run exercises the full resilience surface: one spill hop
+    around full shards and the default
+    :class:`~repro.serve.loadgen.VirtualChaos` plan (seeded batch
+    failures with retry-on-next-worker), so the recorded baseline's
+    retry/spill counts and p99 exemplars are living regression
+    subjects, not zeros.  ``chaos_seed=None`` disables fault injection.
     """
     spec = WorkloadSpec(
         seed=seed,
@@ -82,8 +91,12 @@ def run_serve_tier(
         queue_depth=queue_depth,
         max_batch=max_batch,
         tenant_policy=TenantPolicy(rate=tenant_rate, burst=tenant_burst),
+        spill=spill,
     )
-    steps = offered_load_sweep(spec, list(multipliers), tier)
+    chaos = (
+        default_virtual_chaos(chaos_seed) if chaos_seed is not None else None
+    )
+    steps = offered_load_sweep(spec, list(multipliers), tier, chaos=chaos)
     rows = [
         [
             f"{step['load_multiplier']:g}x",
@@ -94,6 +107,8 @@ def run_serve_tier(
             f"{1e3 * step['latency_s']['p99']:.2f}",
             f"{step['throughput_jps']:.0f}",
             f"{step['mean_batch_occupancy']:.2f}",
+            step["retries"],
+            step["spilled"],
         ]
         for step in steps
     ]
@@ -121,6 +136,7 @@ def run_serve_tier(
         headers=[
             "offered load", "jobs/s offered", "completed", "shed",
             "p50 [ms]", "p99 [ms]", "goodput [jobs/s]", "batch occupancy",
+            "retries", "spilled",
         ],
         rows=rows,
         series={
@@ -142,7 +158,18 @@ def run_serve_tier(
                 "queue_depth": queue_depth,
                 "max_batch": max_batch,
                 "batch_overhead_s": tier.batch_overhead_s,
+                "spill": spill,
             },
+            "chaos": (
+                {
+                    "seed": chaos.seed,
+                    "fail_rate": chaos.fail_rate,
+                    "max_attempts": chaos.max_attempts,
+                    "backoff_s": chaos.backoff_s,
+                }
+                if chaos is not None
+                else None
+            ),
         },
         notes=notes,
     )

@@ -35,9 +35,9 @@ from typing import Callable
 
 from repro.engine.engine import JobHandle
 from repro.engine.jobs import Job
-from repro.engine.queue import JobQueueFull
+from repro.engine.queue import EngineError, JobQueueFull
 from repro.engine.resilience import JobDeadlineExceeded
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, get_request_log
 
 __all__ = [
     "TokenBucket",
@@ -178,9 +178,18 @@ class AdmissionGateway:
         self.policies: dict = dict(policies or {})
         self.deadline_headroom = deadline_headroom
         self.estimate = ServiceEstimate(alpha=estimate_alpha)
-        self.metrics = MetricsRegistry(prefix="gateway.")
+        # bounded histograms: the gateway outlives any single benchmark
+        self.metrics = MetricsRegistry(
+            prefix="gateway.", bounded_histograms=True
+        )
         self._buckets: dict = {}
         self._buckets_lock = threading.Lock()
+        #: per-tenant outcome counts for the telemetry poller, bounded:
+        #: past ``max_tracked_tenants`` distinct ids the rest aggregate
+        #: under ``__other__`` so a tenant-id flood can't grow the map
+        self.max_tracked_tenants = 128
+        self._tenant_counts: dict = {}
+        self._tenants_lock = threading.Lock()
 
     # -- policy ------------------------------------------------------------------
 
@@ -215,31 +224,106 @@ class AdmissionGateway:
         pre-shedding fires, and propagates whatever typed error the
         tier's own admission raises.
         """
+        t = time.monotonic() if now is None else now
+        rlog = get_request_log()
+        if rlog is not None and job.trace is None:
+            job.trace = rlog.mint(
+                ("req", job.job_id),
+                tenant=tenant,
+                batch_key=job.batch_key(),
+                deadline_s=job.deadline_s,
+            )
+        ctx = job.trace
+        if ctx is not None:
+            ctx.emit("gateway", "admit", t=t, tenant=tenant)
         if not self.bucket_for(tenant).try_acquire(now=now):
             self.metrics.counter("tenant_throttled").inc()
+            self._count_tenant(tenant, "throttled")
+            if ctx is not None:
+                ctx.emit(
+                    "gateway", "throttled", t=t, status="shed",
+                    terminal=True, tenant=tenant,
+                )
             raise TenantThrottled(
                 f"tenant {tenant!r} over its contracted rate"
             )
         if self.would_miss_deadline(job, now=now):
             self.metrics.counter("deadline_preshed").inc()
+            self._count_tenant(tenant, "preshed")
+            if ctx is not None:
+                ctx.emit(
+                    "gateway", "deadline", t=t, status="shed",
+                    terminal=True, tenant=tenant,
+                    estimate_s=self.estimate.value,
+                )
             raise JobDeadlineExceeded(
                 f"job {job.job_id}: {job.deadline_s:.3f}s budget < "
                 f"estimated {self.estimate.value:.3f}s service"
             )
-        handle = self.tier.submit(job)
+        try:
+            handle = self.tier.submit(job)
+        except EngineError as exc:
+            # catch-all terminal: inner layers (sharding, engine) close
+            # chains for the errors they own; first-terminal-wins in the
+            # log makes this safe for the ones they already closed
+            self._count_tenant(tenant, "shed")
+            if ctx is not None:
+                kind = (
+                    "deadline"
+                    if isinstance(exc, JobDeadlineExceeded)
+                    else "queue_full"
+                )
+                ctx.emit(
+                    "gateway", kind,
+                    t=time.monotonic() if now is None else now,
+                    status="shed", terminal=True, tenant=tenant,
+                    error=type(exc).__name__,
+                )
+            raise
         self.metrics.counter("admitted").inc()
-        handle.add_done_callback(self._observe_completion)
+        self._count_tenant(tenant, "admitted")
+        handle.add_done_callback(
+            lambda h, _tenant=tenant: self._observe_completion(_tenant, h)
+        )
         return handle
 
-    def _observe_completion(self, handle: JobHandle) -> None:
+    def _count_tenant(self, tenant, key: str) -> None:
+        with self._tenants_lock:
+            counts = self._tenant_counts.get(tenant)
+            if counts is None:
+                if len(self._tenant_counts) >= self.max_tracked_tenants:
+                    tenant = "__other__"
+                counts = self._tenant_counts.setdefault(
+                    tenant,
+                    {
+                        "admitted": 0,
+                        "throttled": 0,
+                        "preshed": 0,
+                        "shed": 0,
+                        "completed": 0,
+                        "failed": 0,
+                    },
+                )
+            counts[key] += 1
+
+    def tenant_counts(self) -> dict:
+        """Per-tenant outcome counts (bounded; telemetry poller input)."""
+        with self._tenants_lock:
+            return {t: dict(c) for t, c in self._tenant_counts.items()}
+
+    def _observe_completion(self, tenant, handle: JobHandle) -> None:
         # feed the EWMA only from successful completions; error paths
         # (deadline sheds, worker faults) would bias the estimate with
         # truncated or pathological latencies
         if handle.error is None:
-            self.estimate.observe(time.monotonic() - handle.submitted_at)
+            latency = time.monotonic() - handle.submitted_at
+            self.estimate.observe(latency)
             self.metrics.counter("completed").inc()
+            self.metrics.histogram("latency_s").observe(latency)
+            self._count_tenant(tenant, "completed")
         else:
             self.metrics.counter("failed").inc()
+            self._count_tenant(tenant, "failed")
 
     # -- asyncio bridge ----------------------------------------------------------
 

@@ -40,14 +40,18 @@ from repro.engine.jobs import GammaJob
 from repro.engine.queue import JobQueueFull
 from repro.engine.resilience import JobDeadlineExceeded
 from repro.harness.configs import CONFIGURATIONS
+from repro.obs import get_request_log
 from repro.obs.percentiles import summarize
+from repro.obs.rtrace import derive_trace_id
 from repro.serve.gateway import TenantPolicy, TenantThrottled, TokenBucket
-from repro.serve.sharding import ShardRing
+from repro.serve.sharding import ShardRing, stable_hash
 
 __all__ = [
     "WorkloadSpec",
     "TraceEvent",
     "TierSpec",
+    "VirtualChaos",
+    "default_virtual_chaos",
     "generate_trace",
     "trace_to_json",
     "trace_from_json",
@@ -204,6 +208,43 @@ class TierSpec:
     tenant_policy: TenantPolicy = field(default_factory=TenantPolicy)
     ring_replicas: int = 64
     ring_seed: int = 0
+    #: extra ring hops a queue-full shard may spill to (0 = primary
+    #: only, the pre-spillover behaviour); mirrors
+    #: :class:`~repro.serve.sharding.ShardedEngine`'s ``spill``
+    spill: int = 0
+
+
+@dataclass(frozen=True)
+class VirtualChaos:
+    """Deterministic batch-failure injection for the virtual tier.
+
+    Whether a given dispatch attempt fails is a pure hash draw keyed on
+    ``(seed, shard, batch seq, attempt)`` — no RNG state, so two runs
+    of the same trace inject byte-identical faults, and a chain's retry
+    spans replay exactly.  A failed attempt burns its full service time
+    on the worker (the live engine's wasted work), then the batch
+    re-dispatches on the next free worker after ``backoff_s``; after
+    ``max_attempts`` the jobs fail terminally.
+    """
+
+    seed: int = 0
+    fail_rate: float = 0.03
+    max_attempts: int = 3
+    backoff_s: float = 0.002
+
+    def batch_fails(self, shard: str, batch_seq: int, attempt: int) -> bool:
+        if self.fail_rate <= 0.0:
+            return False
+        draw = (
+            stable_hash(("chaos", shard, batch_seq, attempt), self.seed)
+            / 2.0**64
+        )
+        return draw < self.fail_rate
+
+
+def default_virtual_chaos(seed: int = 0) -> VirtualChaos:
+    """The chaos plan the serving benchmark runs under."""
+    return VirtualChaos(seed=seed)
 
 
 _MODEL_CACHE: dict[str, FpgaModel] = {}
@@ -233,27 +274,54 @@ def modeled_device_seconds(event: TraceEvent) -> float:
 
 
 class _Shard:
-    """Event-driven G/G/c queue with batch-key coalescing."""
+    """Event-driven G/G/c queue with batch-key coalescing.
 
-    def __init__(self, spec: TierSpec):
+    ``ctxs`` maps trace-event index → :class:`repro.obs.TraceContext`
+    (empty when request tracing is off): every lifecycle point —
+    enqueue, queue wait, batch formation, execute attempts, retries,
+    completion, deadline shed — emits its span on the *virtual* clock,
+    so a seeded run exports a byte-identical span log.
+    """
+
+    def __init__(
+        self,
+        spec: TierSpec,
+        name: str = "shard",
+        chaos: VirtualChaos | None = None,
+        ctxs: dict | None = None,
+    ):
         self.spec = spec
+        self.name = name
+        self.chaos = chaos
+        self.ctxs = ctxs if ctxs is not None else {}
         self.free = [(0.0, w) for w in range(spec.workers_per_shard)]
         heapq.heapify(self.free)
         self.waiting: deque = deque()
         self.completed: list[tuple[TraceEvent, float, float]] = []
         self.deadline_shed: list[TraceEvent] = []
-        self.queue_shed: list[TraceEvent] = []
+        self.failed: list[TraceEvent] = []
         self.busy_s = 0.0
         self.batches = 0
         self.batch_jobs = 0
+        self.retries = 0
+        self._batch_seq = 0
 
     def offer(self, event: TraceEvent) -> bool:
-        """Admit at the event's arrival time; False = queue-full shed."""
+        """Admit at the event's arrival time; False = queue-full refusal.
+
+        The caller (tier loop) owns shed accounting — a refusal here may
+        still spill to the next shard on the ring.
+        """
         self.drain(until=event.t)
         if len(self.waiting) >= self.spec.queue_depth:
-            self.queue_shed.append(event)
             return False
         self.waiting.append(event)
+        ctx = self.ctxs.get(event.index)
+        if ctx is not None:
+            ctx.emit(
+                "queue", "enqueue", t=event.t, shard=self.name,
+                occupancy=len(self.waiting),
+            )
         return True
 
     def drain(self, until: float = float("inf")) -> None:
@@ -273,16 +341,99 @@ class _Shard:
             if not batch:
                 heapq.heappush(self.free, (free_at, worker))
                 continue  # everything at the head was deadline-dead
+            self._batch_seq += 1
+            seq = self._batch_seq
             service = self.spec.batch_overhead_s + sum(
                 modeled_device_seconds(e) for e in batch
             )
-            finish = start + service
-            self.busy_s += service
             self.batches += 1
             self.batch_jobs += len(batch)
             for e in batch:
-                self.completed.append((e, start, finish))
+                ctx = self.ctxs.get(e.index)
+                if ctx is not None:
+                    ctx.emit(
+                        "queue", "wait", t=e.t, dur=start - e.t,
+                        shard=self.name,
+                    )
+                    ctx.emit(
+                        "batch", "batch", t=start,
+                        batch_id=seq, size=len(batch),
+                    )
+            finish, worker = self._run_attempts(
+                batch, seq, start, worker, service
+            )
             heapq.heappush(self.free, (finish, worker))
+
+    def _run_attempts(
+        self,
+        batch: list[TraceEvent],
+        seq: int,
+        start: float,
+        worker: int,
+        service: float,
+    ) -> tuple[float, int]:
+        """Execute the batch, retrying chaos-failed attempts.
+
+        Returns ``(finish, worker)`` of the final attempt.  Each failed
+        attempt burns its service time on the worker that ran it, then
+        the batch re-dispatches after ``backoff_s`` on the next free
+        worker — a *different* one when the shard has more than one,
+        matching the live retry policy's avoid set.
+        """
+        attempt = 1
+        while True:
+            finish = start + service
+            self.busy_s += service
+            failed = self.chaos is not None and self.chaos.batch_fails(
+                self.name, seq, attempt
+            )
+            for e in batch:
+                ctx = self.ctxs.get(e.index)
+                if ctx is not None:
+                    ctx.emit(
+                        "worker", "execute", t=start, dur=service,
+                        status="error" if failed else "ok",
+                        worker=f"{self.name}.w{worker}",
+                        batch_id=seq, attempt=attempt,
+                    )
+            if not failed:
+                for e in batch:
+                    self.completed.append((e, start, finish))
+                    ctx = self.ctxs.get(e.index)
+                    if ctx is not None:
+                        ctx.emit(
+                            "request", "complete", t=finish,
+                            terminal=True, latency_s=finish - e.t,
+                        )
+                return finish, worker
+            if attempt >= self.chaos.max_attempts:
+                for e in batch:
+                    self.failed.append(e)
+                    ctx = self.ctxs.get(e.index)
+                    if ctx is not None:
+                        ctx.emit(
+                            "request", "failed", t=finish,
+                            status="error", terminal=True,
+                            latency_s=finish - e.t, attempts=attempt,
+                        )
+                return finish, worker
+            self.retries += len(batch)
+            attempt += 1
+            for e in batch:
+                ctx = self.ctxs.get(e.index)
+                if ctx is not None:
+                    ctx.emit(
+                        "retry", "retry_scheduled", t=finish,
+                        attempt=attempt, delay_s=self.chaos.backoff_s,
+                    )
+            heapq.heappush(self.free, (finish, worker))
+            free_at, next_worker = heapq.heappop(self.free)
+            if next_worker == worker and self.free:
+                alt_at, alt_worker = heapq.heappop(self.free)
+                heapq.heappush(self.free, (free_at, next_worker))
+                free_at, next_worker = alt_at, alt_worker
+            worker = next_worker
+            start = max(free_at, finish + self.chaos.backoff_s)
 
     def _form_batch(self, start: float) -> list[TraceEvent]:
         """Head job + every compatible waiter, capped at ``max_batch``.
@@ -296,7 +447,7 @@ class _Shard:
         while self.waiting and not batch:
             head = self.waiting.popleft()
             if self._expired(head, start):
-                self.deadline_shed.append(head)
+                self._shed_deadline(head, start)
                 continue
             batch.append(head)
         if not batch:
@@ -309,12 +460,21 @@ class _Shard:
                 kept.append(e)
                 continue
             if self._expired(e, start):
-                self.deadline_shed.append(e)
+                self._shed_deadline(e, start)
                 continue
             batch.append(e)
         kept.extend(self.waiting)
         self.waiting = kept
         return batch
+
+    def _shed_deadline(self, event: TraceEvent, t: float) -> None:
+        self.deadline_shed.append(event)
+        ctx = self.ctxs.get(event.index)
+        if ctx is not None:
+            ctx.emit(
+                "request", "deadline", t=t, status="shed",
+                terminal=True, latency_s=t - event.t, shard=self.name,
+            )
 
     @staticmethod
     def _expired(event: TraceEvent, now: float) -> bool:
@@ -324,31 +484,66 @@ class _Shard:
         )
 
 
+#: slowest-K size for the always-computed p99 exemplar rows
+_EXEMPLAR_K = 8
+
+
 def simulate_tier(
-    trace: list[TraceEvent], tier: TierSpec | None = None
+    trace: list[TraceEvent],
+    tier: TierSpec | None = None,
+    chaos: VirtualChaos | None = None,
+    rlog=None,
+    trace_salt: str = "",
 ) -> dict:
     """Deterministic virtual-time run of ``trace`` through a tier.
 
     The returned report is a pure function of its inputs — same trace,
-    same spec, byte-identical dict — and carries everything the serving
-    benchmark records per offered-load step: completion/shed counts by
-    cause, end-to-end latency summary (mean/p50/p95/p99/max), goodput
-    on the virtual clock, and per-shard assignment counts (which the
-    replay test asserts on).
+    same spec, same chaos plan, byte-identical dict — and carries
+    everything the serving benchmark records per offered-load step:
+    completion/shed/failure counts by cause, end-to-end latency summary
+    (mean/p50/p95/p99/max), goodput on the virtual clock, per-shard
+    assignment counts, and ``p99_exemplars`` — the slowest-K completed
+    requests with their trace ids, so a regression in a committed
+    baseline's p99 names the exact chains to replay.
+
+    ``rlog`` (defaulting to the globally installed request log, see
+    :func:`repro.obs.set_request_log`) turns on full span emission:
+    every request's gateway→shard→queue→batch→worker chain lands in the
+    log on the virtual clock.  ``trace_salt`` disambiguates trace ids
+    when several runs (a sweep's steps) share one log.
     """
     tier = tier or TierSpec()
+    if rlog is None:
+        rlog = get_request_log()
     ring = ShardRing(
         [f"shard{i}" for i in range(tier.n_shards)],
         replicas=tier.ring_replicas,
         seed=tier.ring_seed,
     )
-    shards = {name: _Shard(tier) for name in ring.shards}
+    ctxs: dict = {}
+    shards = {
+        name: _Shard(tier, name=name, chaos=chaos, ctxs=ctxs)
+        for name in ring.shards
+    }
     buckets: dict[int, TokenBucket] = {}
     throttled: list[TraceEvent] = []
+    queue_shed: list[TraceEvent] = []
+    spilled = 0
     assignment: list[str] = []
     for event in sorted(trace, key=lambda e: (e.t, e.index)):
-        shard_name = ring.route(event.batch_key())
-        assignment.append(shard_name)
+        prefs = ring.preference(event.batch_key())
+        candidates = prefs[: 1 + tier.spill]
+        assignment.append(candidates[0])
+        ctx = None
+        if rlog is not None:
+            ctx = rlog.mint(
+                (trace_salt, event.index),
+                tenant=event.tenant,
+                batch_key=event.batch_key(),
+                deadline_s=event.deadline_s,
+            )
+            ctxs[event.index] = ctx
+            ctx.emit("gateway", "admit", t=event.t, tenant=event.tenant)
         bucket = buckets.get(event.tenant)
         if bucket is None:
             bucket = TokenBucket(
@@ -357,19 +552,70 @@ def simulate_tier(
             buckets[event.tenant] = bucket
         if not bucket.try_acquire(now=event.t):
             throttled.append(event)
+            if ctx is not None:
+                ctx.emit(
+                    "gateway", "throttled", t=event.t, status="shed",
+                    terminal=True, tenant=event.tenant,
+                )
             continue
-        shards[shard_name].offer(event)
+        if ctx is not None:
+            ctx.emit(
+                "shard", "route", t=event.t,
+                shard=candidates[0], candidates=list(candidates),
+            )
+        admitted = False
+        for i, name in enumerate(candidates):
+            if shards[name].offer(event):
+                admitted = True
+                if i > 0:
+                    spilled += 1
+                break
+            if i + 1 < len(candidates) and ctx is not None:
+                ctx.emit(
+                    "shard", "spill", t=event.t, status="shed",
+                    from_shard=name, to_shard=candidates[i + 1],
+                )
+        if not admitted:
+            queue_shed.append(event)
+            if ctx is not None:
+                ctx.emit(
+                    "shard", "queue_full", t=event.t, status="shed",
+                    terminal=True,
+                )
     for shard in shards.values():
         shard.drain()
     completed = [c for s in shards.values() for c in s.completed]
     latencies = [finish - e.t for e, _, finish in completed]
     makespan = max((finish for _, _, finish in completed), default=0.0)
-    n_queue_shed = sum(len(s.queue_shed) for s in shards.values())
+    n_queue_shed = len(queue_shed)
     n_deadline_shed = sum(len(s.deadline_shed) for s in shards.values())
+    n_failed = sum(len(s.failed) for s in shards.values())
+    n_retries = sum(s.retries for s in shards.values())
     n_batches = sum(s.batches for s in shards.values())
     offered = len(trace)
     shed_total = len(throttled) + n_queue_shed + n_deadline_shed
-    return {
+    # always-on tail exemplars: trace ids are derivable without a log,
+    # so even an untraced benchmark run pins *which* requests were the
+    # p99 — the ids match a traced re-run of the same seed exactly
+    id_seed = rlog.seed if rlog is not None else 0
+    slowest = sorted(
+        (
+            (finish - e.t, e.index, name)
+            for name, s in sorted(shards.items())
+            for e, _start, finish in s.completed
+        ),
+        reverse=True,
+    )[:_EXEMPLAR_K]
+    p99_exemplars = [
+        {
+            "trace_id": derive_trace_id(id_seed, (trace_salt, index)),
+            "index": index,
+            "latency_s": latency,
+            "shard": name,
+        }
+        for latency, index, name in slowest
+    ]
+    report = {
         "offered_jobs": offered,
         "completed": len(completed),
         "shed_total": shed_total,
@@ -377,6 +623,9 @@ def simulate_tier(
         "shed_queue_full": n_queue_shed,
         "shed_deadline": n_deadline_shed,
         "shed_rate": shed_total / offered if offered else 0.0,
+        "failed": n_failed,
+        "retries": n_retries,
+        "spilled": spilled,
         "latency_s": summarize(latencies),
         "virtual_makespan_s": makespan,
         "throughput_jps": len(completed) / makespan if makespan else 0.0,
@@ -388,26 +637,34 @@ def simulate_tier(
         "per_shard_completed": {
             name: len(s.completed) for name, s in sorted(shards.items())
         },
+        "p99_exemplars": p99_exemplars,
         "assignment": assignment,
     }
+    if rlog is not None:
+        report["rtrace"] = rlog.snapshot()
+    return report
 
 
 def offered_load_sweep(
     spec: WorkloadSpec,
     multipliers: list[float],
     tier: TierSpec | None = None,
+    chaos: VirtualChaos | None = None,
 ) -> list[dict]:
     """One :func:`simulate_tier` step per offered-load multiplier.
 
     Each step regenerates the trace from the *same* seed at the scaled
     rate — the workload shape (sizes, tenants, burstiness) stays fixed
     while pressure rises, so the latency/shed trajectory is the knee of
-    this tier, not sampling noise.
+    this tier, not sampling noise.  Steps salt their trace ids with the
+    multiplier so a sweep sharing one request log never collides.
     """
     steps = []
     for m in multipliers:
         scaled = spec.scaled(m)
-        report = simulate_tier(generate_trace(scaled), tier)
+        report = simulate_tier(
+            generate_trace(scaled), tier, chaos=chaos, trace_salt=f"m{m}"
+        )
         report.pop("assignment")  # bulky, per-step records don't need it
         steps.append(
             {"load_multiplier": m, "offered_jps": scaled.rate_jps, **report}

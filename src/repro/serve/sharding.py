@@ -22,6 +22,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
+import time
 from typing import Hashable, Iterable, Sequence
 
 from repro.engine.engine import ExecutionEngine, JobHandle
@@ -205,7 +206,9 @@ class ShardedEngine:
             )
             for i, name in enumerate(names)
         }
-        self.metrics = MetricsRegistry(prefix="tier.")
+        self.metrics = MetricsRegistry(
+            prefix="tier.", bounded_histograms=True
+        )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -262,6 +265,7 @@ class ShardedEngine:
         second admission attempt would just burn more of it.  The last
         typed error propagates when every candidate refused.
         """
+        ctx = job.trace
         prefs = self.ring.preference(job.batch_key())
         candidates = prefs[: 1 + self.spill]
         healthy = [n for n in candidates if self.shard_healthy(n)]
@@ -269,18 +273,42 @@ class ShardedEngine:
             self.metrics.counter("reroutes_breaker").inc(
                 len(candidates) - len(healthy)
             )
+            if ctx is not None:
+                for name in candidates:
+                    if name not in healthy:
+                        ctx.emit(
+                            "shard", "breaker_skip", t=time.monotonic(),
+                            shard=name,
+                        )
         order = healthy or candidates
+        if ctx is not None:
+            ctx.emit(
+                "shard", "route", t=time.monotonic(),
+                shard=order[0], candidates=list(order),
+            )
         last_error: EngineError | None = None
         for i, name in enumerate(order):
             try:
                 handle = self.shards[name].submit(job)
             except JobDeadlineExceeded:
                 self.metrics.counter("jobs_deadline_shed").inc()
+                if ctx is not None:
+                    ctx.emit(
+                        "shard", "deadline", t=time.monotonic(),
+                        status="shed", terminal=True, shard=name,
+                    )
                 raise
             except (JobQueueFull, SubmitTimeout, JobQueueClosed) as exc:
                 last_error = exc
                 if i + 1 < len(order):
                     self.metrics.counter("reroutes_shed").inc()
+                    if ctx is not None:
+                        ctx.emit(
+                            "shard", "spill", t=time.monotonic(),
+                            status="shed",
+                            from_shard=name, to_shard=order[i + 1],
+                            error=type(exc).__name__,
+                        )
                 continue
             if i > 0:
                 self.metrics.counter("jobs_spilled").inc()
@@ -288,6 +316,14 @@ class ShardedEngine:
             return handle
         self.metrics.counter("jobs_shed").inc()
         assert last_error is not None
+        if ctx is not None:
+            # the whole candidate set refused: this is the tier's final
+            # word, so close the chain with the always-captured shed
+            ctx.emit(
+                "shard", "queue_full", t=time.monotonic(),
+                status="shed", terminal=True,
+                error=type(last_error).__name__,
+            )
         raise last_error
 
     # -- capacity (autoscaler hooks) ---------------------------------------------
@@ -340,11 +376,29 @@ class ShardedEngine:
             (s["modeled_makespan_s"] for s in per_shard.values()),
             default=0.0,
         )
+        # tier-wide slowest-K: merge the per-shard exemplar heaps so a
+        # BENCH p99 row names the trace ids worth pulling
+        exemplars = sorted(
+            (
+                {**ex, "shard": name}
+                for name, s in per_shard.items()
+                for ex in s.get("latency_exemplars", [])
+            ),
+            key=lambda ex: ex["total_s"],
+            reverse=True,
+        )[:16]
+        sampling = [
+            s["trace_sampling"]
+            for s in per_shard.values()
+            if s.get("trace_sampling") is not None
+        ]
         return {
             "n_shards": len(self.shards),
             "tier_metrics": self.metrics.snapshot(),
             "totals": totals,
             "shards": per_shard,
+            "latency_exemplars": exemplars,
+            "trace_sampling": sampling[0] if sampling else None,
         }
 
     def unresolved_handles(self, handles: Sequence[JobHandle]) -> int:

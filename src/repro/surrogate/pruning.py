@@ -89,7 +89,15 @@ def pruned_candidate_indices(costs, predicted, margin: float) -> list[int]:
     keep = []
     for i in range(len(c)):
         best_cheaper = p[c <= c[i]].min()
-        if p[i] <= (1.0 + margin) * best_cheaper:
+        # nextafter absorbs the rounding of (1+margin)*best: a point
+        # sitting mathematically *on* the retention boundary (e.g. two
+        # frontier ties whose predictions differ by exactly the error
+        # band) must be kept, and widening by one ulp only ever keeps
+        # more points — the retention guarantee is one-sided
+        threshold = np.nextafter(
+            (1.0 + margin) * best_cheaper, np.inf
+        )
+        if p[i] <= threshold:
             keep.append(i)
     return keep
 

@@ -1,10 +1,17 @@
 """Counters, gauges, histograms and the registry."""
 
+import random
 import threading
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BoundedHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class TestCounter:
@@ -57,6 +64,72 @@ class TestHistogram:
         assert snap["p95"] == 0.0
 
 
+class TestBoundedHistogram:
+    def test_count_sum_min_max_are_exact(self):
+        h = BoundedHistogram("latency")
+        values = [0.001, 0.5, 2.0, 0.003, 7.5]
+        h.observe_many(values)
+        snap = h.snapshot()
+        assert snap["count"] == 5.0
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["mean"] == pytest.approx(sum(values) / 5)
+        assert snap["max"] == 7.5
+
+    def test_quantiles_within_the_bucket_error_bound(self):
+        # quarter-octave buckets bound the relative error at ~half a
+        # bucket width; check against the exact backend on a skewed
+        # latency-like distribution
+        rng = random.Random(7)
+        values = [rng.lognormvariate(-5.0, 1.2) for _ in range(20_000)]
+        exact = Histogram("e")
+        bounded = BoundedHistogram("b")
+        exact.observe_many(values)
+        bounded.observe_many(values)
+        es, bs = exact.snapshot(), bounded.snapshot()
+        for q in ("p50", "p95", "p99"):
+            assert bs[q] == pytest.approx(es[q], rel=0.10), q
+
+    def test_memory_stays_flat_on_a_soak(self):
+        # the exact histogram holds every observation; the bounded one
+        # must hold only its fixed bucket array no matter the volume
+        h = BoundedHistogram("soak")
+        baseline_buckets = len(h._counts)
+        rng = random.Random(3)
+        for _ in range(100_000):
+            h.observe(rng.expovariate(100.0))
+        assert len(h._counts) == baseline_buckets
+        assert h.count == 100_000
+        assert len(h.buckets()) <= baseline_buckets
+
+    def test_under_and_overflow_observations_kept(self):
+        h = BoundedHistogram("x", lo=1e-3, hi=1e3)
+        h.observe(0.0)       # underflow bucket
+        h.observe(-1.0)      # negative → underflow
+        h.observe(1e6)       # overflow bucket
+        snap = h.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["max"] == 1e6
+        # quantiles clamp to the observed range, never a bucket edge
+        assert -1.0 <= snap["p50"] <= 1e6
+
+    def test_empty_snapshot(self):
+        snap = BoundedHistogram("empty").snapshot()
+        assert snap["count"] == 0.0
+        assert snap["p99"] == 0.0
+
+    def test_raw_values_are_gone(self):
+        h = BoundedHistogram("x")
+        h.observe(1.0)
+        with pytest.raises(TypeError):
+            h.values()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram("x", lo=0.0)
+        with pytest.raises(ValueError):
+            BoundedHistogram("x", growth=1.0)
+
+
 class TestMetricsRegistry:
     def test_get_or_create_shares_instances(self):
         reg = MetricsRegistry()
@@ -79,6 +152,63 @@ class TestMetricsRegistry:
         assert snap["engine.inflight"] == 2.0
         assert snap["engine.wait"]["count"] == 1.0
         assert reg.names() == ["inflight", "jobs", "wait"]
+
+    def test_bounded_backend_selection(self):
+        reg = MetricsRegistry(bounded_histograms=True)
+        assert isinstance(reg.histogram("h"), BoundedHistogram)
+        # per-call override beats the registry default
+        assert not isinstance(
+            reg.histogram("exact", bounded=False), BoundedHistogram
+        )
+        exact_reg = MetricsRegistry()
+        assert not isinstance(exact_reg.histogram("h"), BoundedHistogram)
+        assert isinstance(
+            exact_reg.histogram("b", bounded=True), BoundedHistogram
+        )
+
+    def test_first_creator_decides_the_backend(self):
+        reg = MetricsRegistry()
+        first = reg.histogram("h", bounded=True)
+        # later callers share the instance regardless of their flag
+        assert reg.histogram("h") is first
+        assert reg.histogram("h", bounded=False) is first
+
+    def test_expose_text_format(self):
+        reg = MetricsRegistry(prefix="engine.")
+        reg.counter("jobs").inc(3)
+        reg.gauge("inflight").set(2.0)
+        reg.histogram("wait", bounded=True).observe_many([0.1, 0.2, 0.3])
+        text = reg.expose_text()
+        lines = text.splitlines()
+        assert "# TYPE engine_jobs counter" in lines
+        assert "engine_jobs_total 3" in lines
+        assert "engine_inflight 2.0" in lines
+        assert "engine_wait_count 3" in lines
+        assert any(
+            line.startswith('engine_wait{quantile="0.95"}')
+            for line in lines
+        )
+        # exposition names stay in [a-zA-Z0-9_:]
+        for line in lines:
+            name = line.split("{")[0].split()[1 if line.startswith("#") else 0]
+            assert all(
+                c.isalnum() or c in "_:" for c in name.replace("# TYPE ", "")
+            ), line
+
+    def test_serving_registries_default_to_bounded(self):
+        """Gateway/tier/engine registries hold flat memory on soaks."""
+        from repro.engine.engine import ExecutionEngine
+        from repro.serve.gateway import AdmissionGateway
+        from repro.serve.sharding import ShardedEngine
+
+        tier = ShardedEngine(n_shards=1, n_workers=1)
+        gateway = AdmissionGateway(tier)
+        assert gateway.metrics.bounded_histograms
+        assert tier.metrics.bounded_histograms
+        engine = ExecutionEngine(n_workers=1)
+        assert isinstance(
+            engine.metrics.histogram("queue_wait_s"), BoundedHistogram
+        )
 
     def test_engine_populates_metrics(self):
         """The execution engine feeds its registry during a run."""

@@ -1,0 +1,284 @@
+"""Request-trace log mechanics: sampling, retention, critical path.
+
+These tests drive :mod:`repro.obs.rtrace` directly with synthetic
+chains (no engine) — the invariants the serving-tier integration in
+``tests/serve/test_request_tracing.py`` builds on: one terminal per
+chain, deterministic sampling, always-on error capture, bounded
+memory and an exactly-partitioning latency decomposition.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.rtrace import (
+    RequestTraceLog,
+    critical_path,
+    critical_path_report,
+    derive_trace_id,
+    request_trace_from_json,
+)
+
+
+def _complete_chain(log, key, latency=1.0, t0=0.0, service=0.2):
+    """One admit→enqueue→batch→execute→complete chain, ``latency`` long."""
+    ctx = log.mint(key, tenant="t0", batch_key="k", deadline_s=None)
+    ctx.emit("gateway", "admit", t=t0)
+    ctx.emit("queue", "enqueue", t=t0)
+    dequeue = t0 + latency - service - 0.01
+    ctx.emit("batch", "batch", t=dequeue, batch_id=1, size=1)
+    ctx.emit(
+        "worker", "execute", t=t0 + latency - service, dur=service,
+        worker="w0", attempt=1,
+    )
+    ctx.emit(
+        "request", "complete", t=t0 + latency, status="ok",
+        terminal=True, latency_s=latency,
+    )
+    return ctx
+
+
+class TestTraceContext:
+    def test_linear_parentage(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        s1 = ctx.emit("gateway", "admit", t=0.0)
+        s2 = ctx.emit("shard", "route", t=0.1)
+        s3 = ctx.emit("request", "complete", t=0.2, terminal=True)
+        events = log.chains()[ctx.trace_id]
+        assert [e.span_id for e in events] == [s1, s2, s3]
+        assert [e.parent_id for e in events] == [None, s1, s2]
+
+    def test_parent_override(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        root = ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit("worker", "execute", t=0.1)
+        retry = ctx.emit("retry", "retry_scheduled", t=0.2, parent=root)
+        ctx.emit("request", "complete", t=0.3, terminal=True)
+        events = log.chains()[ctx.trace_id]
+        assert events[2].span_id == retry
+        assert events[2].parent_id == root
+
+    def test_terminal_closes_the_chain(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit("request", "complete", t=1.0, terminal=True)
+        # post-terminal emits are dropped, not appended
+        assert ctx.emit("worker", "execute", t=2.0) is None
+        assert len(log.chains()[ctx.trace_id]) == 2
+
+    def test_duplicate_terminal_first_wins(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit("request", "complete", t=1.0, terminal=True)
+        # the belt-and-braces second closer (gateway catch-all) is
+        # counted and dropped — the chain keeps its first terminal
+        assert ctx.emit(
+            "gateway", "queue_full", t=1.1, terminal=True
+        ) is None
+        assert log.terminal_counts() == {"complete": 1}
+        assert log.snapshot()["duplicate_terminals"] == 1
+
+    def test_baggage_carried(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1", tenant=7, batch_key="bk", deadline_s=0.5)
+        assert (ctx.tenant, ctx.batch_key, ctx.deadline_s) == (7, "bk", 0.5)
+        assert ctx.log is log
+
+
+class TestSampling:
+    def test_trace_id_is_deterministic(self):
+        a = RequestTraceLog(seed=3).mint("r1").trace_id
+        b = RequestTraceLog(seed=3).mint("r1").trace_id
+        assert a == b == derive_trace_id(3, "r1")
+        assert derive_trace_id(4, "r1") != a
+
+    def test_unsampled_success_dropped(self):
+        log = RequestTraceLog(sample_rate=0.0)
+        _complete_chain(log, "r1")
+        assert log.chains() == {}
+        snap = log.snapshot()
+        assert snap["dropped_unsampled"] == 1
+        assert snap["terminals"] == {"complete": 1}  # counted anyway
+
+    def test_errors_always_captured(self):
+        log = RequestTraceLog(sample_rate=0.0)
+        for kind, status in [
+            ("failed", "error"), ("deadline", "shed"),
+            ("queue_full", "shed"), ("throttled", "shed"),
+        ]:
+            ctx = log.mint(("r", kind))
+            ctx.emit("gateway", "admit", t=0.0)
+            ctx.emit("request", kind, t=1.0, status=status, terminal=True)
+        assert len(log.chains()) == 4
+
+    def test_sampling_decision_is_deterministic_per_trace(self):
+        keeps = [
+            {
+                key
+                for key in range(200)
+                if RequestTraceLog(sample_rate=0.3, seed=11)
+                .mint(key)
+                .sampled
+            }
+            for _ in range(2)
+        ]
+        assert keeps[0] == keeps[1]
+        assert 20 < len(keeps[0]) < 120  # roughly 30% of 200
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            RequestTraceLog(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            RequestTraceLog(capacity=0)
+
+
+class TestRetention:
+    def test_ring_is_bounded(self):
+        log = RequestTraceLog(capacity=4)
+        for i in range(10):
+            _complete_chain(log, ("r", i))
+        snap = log.snapshot()
+        assert snap["committed"] == 4
+        assert snap["minted"] == 10
+        # the ring keeps the newest chains
+        kept = set(log.chains())
+        assert derive_trace_id(0, ("r", 9)) in kept
+        assert derive_trace_id(0, ("r", 0)) not in kept
+
+    def test_unfinished_chains_stay_out_of_the_log(self):
+        # in-flight chains live in their own context, not the log: an
+        # abandoned request is freed with its job and only the counter
+        # math (minted - terminated) remembers it was ever open
+        log = RequestTraceLog()
+        for i in range(3):
+            log.mint(("r", i)).emit("gateway", "admit", t=0.0)
+        snap = log.snapshot()
+        assert snap["pending"] == 3
+        assert snap["committed"] == 0
+        assert log.chains() == {}
+        log.mint(("r", 99)).emit(
+            "request", "complete", t=1.0, terminal=True
+        )
+        snap = log.snapshot()
+        assert snap["pending"] == 3
+        assert snap["committed"] == 1
+
+
+class TestExemplars:
+    def test_slowest_k_kept_even_unsampled(self):
+        log = RequestTraceLog(sample_rate=0.0, exemplar_k=3)
+        for i, latency in enumerate([0.1, 0.9, 0.3, 0.7, 0.5]):
+            _complete_chain(log, ("r", i), latency=latency)
+        top = log.exemplars()
+        assert [round(ex["latency_s"], 1) for ex in top] == [0.9, 0.7, 0.5]
+        assert log.chains() == {}  # head sampling still dropped the ring
+
+    def test_only_completions_enter_the_reservoir(self):
+        log = RequestTraceLog(exemplar_k=4)
+        ctx = log.mint("err")
+        ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit("request", "failed", t=99.0, status="error", terminal=True)
+        _complete_chain(log, "ok", latency=0.2)
+        assert [ex["trace_id"] for ex in log.exemplars()] == [
+            derive_trace_id(0, "ok")
+        ]
+
+
+class TestCriticalPath:
+    def test_segments_partition_exactly(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit("queue", "enqueue", t=0.0)
+        ctx.emit("batch", "batch", t=0.4)  # 0.4 s queued
+        ctx.emit("worker", "execute", t=0.5, dur=0.2, attempt=1)
+        ctx.emit("retry", "retry_scheduled", t=0.7, attempt=2)
+        ctx.emit("worker", "execute", t=0.8, dur=0.3, attempt=2)
+        ctx.emit("request", "complete", t=1.15, terminal=True)
+        seg = critical_path(log.chains()[ctx.trace_id])
+        assert seg["attempts"] == 2
+        assert seg["queue_s"] == pytest.approx(0.4)
+        assert seg["retry_s"] == pytest.approx(0.3)  # first→last start
+        assert seg["execute_s"] == pytest.approx(0.3)  # final attempt
+        assert seg["total_s"] == pytest.approx(1.15)
+        assert (
+            seg["queue_s"] + seg["batch_s"] + seg["retry_s"]
+            + seg["execute_s"]
+        ) == pytest.approx(seg["total_s"])
+
+    def test_chain_without_execute_is_all_queue(self):
+        log = RequestTraceLog()
+        ctx = log.mint("r1")
+        ctx.emit("gateway", "admit", t=0.0)
+        ctx.emit(
+            "shard", "queue_full", t=0.3, status="shed", terminal=True
+        )
+        seg = critical_path(log.chains()[ctx.trace_id])
+        assert seg["attempts"] == 0
+        assert seg["queue_s"] == pytest.approx(0.3)
+        assert seg["total_s"] == pytest.approx(0.3)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            critical_path([])
+
+    def test_report_rows_slowest_first(self):
+        log = RequestTraceLog()
+        for i, latency in enumerate([0.2, 0.8, 0.5]):
+            _complete_chain(log, ("r", i), latency=latency)
+        rows = critical_path_report(log, top=2)
+        assert [round(r["latency_s"], 1) for r in rows] == [0.8, 0.5]
+        for row in rows:
+            assert row["terminal"] == "complete"
+            assert (
+                row["queue_s"] + row["batch_s"] + row["retry_s"]
+                + row["execute_s"]
+            ) == pytest.approx(row["total_s"])
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        log = RequestTraceLog(seed=5)
+        _complete_chain(log, "r1", latency=0.7)
+        ctx = log.mint("r2")
+        ctx.emit("gateway", "admit", t=0.0, tenant=3)
+        ctx.emit("request", "failed", t=0.4, status="error", terminal=True)
+        path = tmp_path / "rt.json"
+        assert log.export(str(path)) == 2
+        parsed = request_trace_from_json(path.read_text())
+        assert parsed["request_trace"]["minted"] == 2
+        assert parsed["chains"].keys() == log.chains().keys()
+        tid = derive_trace_id(5, "r1")
+        assert parsed["chains"][tid] == log.chains()[tid]
+        # the report works identically on the parsed payload
+        assert critical_path_report(parsed) == critical_path_report(log)
+
+    def test_from_json_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError):
+            request_trace_from_json(json.dumps({"traceEvents": []}))
+
+    def test_chrome_export(self, tmp_path):
+        log = RequestTraceLog()
+        _complete_chain(log, "r1", latency=0.5)
+        path = tmp_path / "chrome.json"
+        log.export_chrome(str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        request_events = [e for e in events if e.get("cat") == "request"]
+        assert request_events
+        assert {e["name"] for e in request_events} >= {
+            "gateway:admit", "worker:execute", "request:complete"
+        }
+        tid = derive_trace_id(0, "r1")
+        assert all(
+            e["args"]["trace_id"] == tid for e in request_events
+        )
+        # execute has duration -> a complete ("X") span, in microseconds
+        execute = next(
+            e for e in request_events if e["name"] == "worker:execute"
+        )
+        assert execute["ph"] == "X"
+        assert execute["dur"] == pytest.approx(0.2e6)

@@ -1,0 +1,184 @@
+"""TierTelemetry: snapshot-delta polling, SLO math, bounded history."""
+
+import time
+
+import pytest
+
+from repro.engine.jobs import GammaJob
+from repro.serve.gateway import AdmissionGateway
+from repro.serve.sharding import ShardedEngine
+from repro.serve.telemetry import TierTelemetry
+
+
+def _job(seed=1, n=128):
+    return GammaJob(config="Config1", variance=1.39, n_samples=n, seed=seed)
+
+
+def _run(tier, gateway, n, base_seed=0):
+    handles = [
+        gateway.admit_sync(f"tenant{i % 2}", _job(seed=base_seed + i))
+        for i in range(n)
+    ]
+    for h in handles:
+        h.result(timeout=30)
+    tier.drain(timeout=30)
+
+
+class TestPolling:
+    def test_deltas_between_polls(self):
+        with ShardedEngine(n_shards=2, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 6)
+            first = telemetry.poll(now=10.0)
+            assert first["interval_s"] is None  # no window yet
+            assert first["tier"]["submitted"] == 6
+            assert first["tier"]["completed"] == 6
+            assert first["tier"]["throughput_jps"] is None
+            _run(tier, gateway, 4, base_seed=100)
+            second = telemetry.poll(now=12.0)
+            # deltas, not cumulative totals
+            assert second["interval_s"] == pytest.approx(2.0)
+            assert second["tier"]["submitted"] == 4
+            assert second["tier"]["completed"] == 4
+            assert second["tier"]["throughput_jps"] == pytest.approx(2.0)
+
+    def test_idle_window_is_all_zeros(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 3)
+            telemetry.poll(now=1.0)
+            record = telemetry.poll(now=2.0)
+        assert all(v == 0 for v in record["tier"].values()
+                   if isinstance(v, int))
+        assert record["tenants"] == {}  # only tenants that moved appear
+
+    def test_slo_aggregates(self):
+        with ShardedEngine(n_shards=2, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 8)
+            record = telemetry.poll(now=1.0)
+        assert record["slo"]["availability"] == pytest.approx(1.0)
+        assert record["slo"]["deadline_attainment"] == pytest.approx(1.0)
+        assert record["slo"]["shed_rate"] == pytest.approx(0.0)
+
+    def test_slo_none_when_nothing_resolved(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            record = TierTelemetry(tier).poll(now=0.0)
+        assert record["slo"] == {
+            "availability": None,
+            "deadline_attainment": None,
+            "shed_rate": None,
+        }
+
+    def test_per_shard_blocks(self):
+        with ShardedEngine(n_shards=2, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 6)
+            record = telemetry.poll(now=1.0)
+        assert set(record["shards"]) == {"shard0", "shard1"}
+        for block in record["shards"].values():
+            assert block["healthy"] is True
+            assert block["queue_depth"] == 0
+            assert block["breakers_open"] == 0
+        total = sum(b["completed"] for b in record["shards"].values())
+        assert total == 6
+
+    def test_tenant_deltas(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 4)  # tenants alternate tenant0/tenant1
+            first = telemetry.poll(now=1.0)
+            _run(tier, gateway, 2, base_seed=50)
+            second = telemetry.poll(now=2.0)
+        assert first["tenants"]["tenant0"]["admitted"] == 2
+        assert second["tenants"]["tenant0"]["admitted"] == 1
+        assert second["tenants"]["tenant0"]["completed"] == 1
+
+    def test_gateway_block(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 3)
+            record = telemetry.poll(now=1.0)
+        assert record["gateway"]["service_estimate_s"] > 0
+        assert record["gateway"]["latency_s"]["count"] == 3.0
+
+    def test_without_gateway(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            record = TierTelemetry(tier).poll(now=0.0)
+        assert record["gateway"] is None
+        assert record["tenants"] == {}
+
+
+class TestRetention:
+    def test_history_is_bounded(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            telemetry = TierTelemetry(tier, history=3)
+            for i in range(7):
+                telemetry.poll(now=float(i))
+        assert len(telemetry.history) == 3
+        assert telemetry.latest()["t"] == 6.0
+
+    def test_history_validated(self):
+        with pytest.raises(ValueError):
+            TierTelemetry(object(), history=0)
+
+
+class TestBackgroundThread:
+    def test_start_poll_stop(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            telemetry = TierTelemetry(tier)
+            with telemetry.start(interval_s=0.01):
+                deadline = time.monotonic() + 5.0
+                while not telemetry.history and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            assert telemetry.latest() is not None
+            assert telemetry._thread is None  # stopped on exit
+
+    def test_double_start_rejected(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            telemetry = TierTelemetry(tier).start(interval_s=5.0)
+            try:
+                with pytest.raises(RuntimeError):
+                    telemetry.start(interval_s=5.0)
+            finally:
+                telemetry.stop()
+
+    def test_interval_validated(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            with pytest.raises(ValueError):
+                TierTelemetry(tier).start(interval_s=0.0)
+
+
+class TestExposition:
+    def test_expose_text_covers_every_registry(self):
+        with ShardedEngine(n_shards=2, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            # two batch keys that land on different shards, so both
+            # engine registries have live samples to expose
+            handles = [
+                gateway.admit_sync(
+                    "t",
+                    GammaJob(
+                        config="Config1", variance=v, n_samples=128,
+                        seed=i,
+                    ),
+                )
+                for i, v in enumerate([0.35, 1.39] * 2)
+            ]
+            for h in handles:
+                h.result(timeout=30)
+            text = telemetry.expose_text()
+        assert "gateway_admitted_total 4" in text
+        assert "tier_jobs_submitted_total 4" in text
+        # per-shard engine samples are tagged with the shard name
+        assert "engine_shard0_jobs_submitted_total" in text
+        assert "engine_shard1_jobs_submitted_total" in text
+        # histograms expose summary-style quantile samples
+        assert 'quantile="0.50"' in text

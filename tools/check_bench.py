@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Regression gate over the committed ``BENCH_*.json`` baselines.
+
+``tools/record_bench.py`` records two kinds of numbers side by side:
+deterministic outputs (cycle counts, recommended depths, the entire
+serving-tier step series under its pinned seed) and machine-dependent
+wall-clock measurements (``*_ms``, ``*_per_s``, ``wall_seconds``,
+speedups).  This gate re-measures a suite and diffs it against the
+committed baseline with **per-metric tolerance bands**: deterministic
+values must match to float precision, wall-time-derived ratios get a
+wide band, and raw timings are skipped entirely (they say more about
+the CI machine than about the code).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py --suite serving
+    PYTHONPATH=src python tools/check_bench.py --suite simulator --report-only
+    PYTHONPATH=src python tools/check_bench.py --suite serving --fresh new.json
+
+Without ``--fresh`` the suite is re-run in process (same code path as
+``record_bench.py``).  ``--report-only`` prints the full comparison but
+always exits 0 — the mode CI uses while a baseline is being reworked.
+
+Tolerance bands (first match on the dotted metric path wins)::
+
+    python, machine, *wall_seconds, *_ms, *_per_s   skipped
+    *speedup*                                       rel <= 0.75
+    *max_loo_relative_error                         rel <= 0.05
+    * (everything else)                             rel <= 1e-6 / exact
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import math
+import os
+import sys
+
+__all__ = ["DEFAULT_RULES", "compare_records", "main", "tolerance_for"]
+
+#: (path glob, rule) pairs; rule is "skip", "exact", or a max relative
+#: error.  Paths are dotted (list indices included): e.g.
+#: ``serving.steps.3.latency_s.p99`` or ``fastpath.speedup``.
+DEFAULT_RULES: tuple = (
+    ("python", "skip"),
+    ("machine", "skip"),
+    ("*wall_seconds", "skip"),
+    ("*_ms", "skip"),
+    ("*_per_s", "skip"),
+    ("*speedup*", 0.75),
+    # deterministic given the data, but the lstsq fit runs through BLAS
+    ("*max_loo_relative_error", 0.05),
+    ("*", 1e-6),
+)
+
+
+def tolerance_for(path: str, rules=DEFAULT_RULES):
+    """First matching rule for a dotted metric path (None == no rule)."""
+    for pattern, rule in rules:
+        if fnmatch.fnmatchcase(path, pattern):
+            return rule
+    return None
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _numbers_match(baseline: float, fresh: float, tol: float) -> bool:
+    if math.isnan(baseline) or math.isnan(fresh):
+        return math.isnan(baseline) and math.isnan(fresh)
+    if baseline == fresh:
+        return True
+    scale = max(abs(baseline), abs(fresh), 1e-12)
+    return abs(fresh - baseline) / scale <= tol
+
+
+def compare_records(baseline, fresh, rules=DEFAULT_RULES) -> list:
+    """Diff two benchmark records; one finding dict per violation.
+
+    Findings carry ``path``, ``kind`` (``missing``/``extra``/
+    ``mismatch``/``type``), the two values and the applied tolerance.
+    Skipped paths produce no findings; structure changes always do —
+    a metric vanishing from the record is drift worth reviewing even
+    when its values were exempt.
+    """
+    findings: list = []
+
+    def visit(path: str, base, new) -> None:
+        rule = tolerance_for(path, rules) if path else None
+        if rule == "skip":
+            return
+        if isinstance(base, dict) and isinstance(new, dict):
+            for key in base:
+                child = f"{path}.{key}" if path else str(key)
+                if key not in new:
+                    if tolerance_for(child, rules) != "skip":
+                        findings.append(
+                            {"path": child, "kind": "missing",
+                             "baseline": base[key], "fresh": None}
+                        )
+                else:
+                    visit(child, base[key], new[key])
+            for key in new:
+                child = f"{path}.{key}" if path else str(key)
+                if key not in base and tolerance_for(child, rules) != "skip":
+                    findings.append(
+                        {"path": child, "kind": "extra",
+                         "baseline": None, "fresh": new[key]}
+                    )
+            return
+        if isinstance(base, list) and isinstance(new, list):
+            if len(base) != len(new):
+                findings.append(
+                    {"path": path, "kind": "mismatch",
+                     "baseline": f"len {len(base)}", "fresh": f"len {len(new)}"}
+                )
+                return
+            for i, (b, n) in enumerate(zip(base, new)):
+                visit(f"{path}.{i}", b, n)
+            return
+        if _is_number(base) and _is_number(new):
+            tol = rule if isinstance(rule, (int, float)) else 0.0
+            if not _numbers_match(float(base), float(new), float(tol)):
+                findings.append(
+                    {"path": path, "kind": "mismatch",
+                     "baseline": base, "fresh": new, "tolerance": tol}
+                )
+            return
+        if type(base) is not type(new):
+            findings.append(
+                {"path": path, "kind": "type",
+                 "baseline": base, "fresh": new}
+            )
+            return
+        if base != new:
+            findings.append(
+                {"path": path, "kind": "mismatch",
+                 "baseline": base, "fresh": new}
+            )
+
+    visit("", baseline, fresh)
+    return findings
+
+
+def _measure_suite(suite: str) -> dict:
+    """Re-run a suite in process, mirroring ``record_bench.main``."""
+    import platform
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import record_bench
+
+    record = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if suite == "simulator":
+        record.update(
+            lane_throughput=record_bench.bench_lane_throughput(),
+            fastpath=record_bench.bench_fastpath(),
+            pruned_sweep=record_bench.bench_pruned_sweep(),
+            surrogate=record_bench.bench_surrogate_error(),
+        )
+    else:
+        record["serving"] = record_bench.bench_serving()
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--suite", choices=("simulator", "serving"), default="simulator",
+        help="benchmark suite to check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed baseline (default: BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="pre-recorded fresh run to compare instead of re-measuring",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print the comparison but exit 0 regardless of drift",
+    )
+    args = parser.parse_args(argv)
+    baseline_path = args.baseline or f"BENCH_{args.suite}.json"
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read baseline {baseline_path!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.fresh is not None:
+        try:
+            with open(args.fresh, encoding="utf-8") as fh:
+                fresh = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read fresh record {args.fresh!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        fresh = _measure_suite(args.suite)
+
+    findings = compare_records(baseline, fresh)
+    checked = args.suite
+    if not findings:
+        print(f"check_bench[{checked}]: OK — fresh run matches "
+              f"{baseline_path} within tolerance")
+        return 0
+    print(f"check_bench[{checked}]: {len(findings)} metric(s) drifted "
+          f"from {baseline_path}:")
+    for f in findings:
+        tol = f.get("tolerance")
+        band = f" (tol {tol:g})" if tol is not None else ""
+        print(f"  {f['kind']:<8} {f['path']}: "
+              f"baseline={f['baseline']!r} fresh={f['fresh']!r}{band}")
+    if args.report_only:
+        print("report-only: not failing the build")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
