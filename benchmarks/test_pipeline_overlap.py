@@ -1,0 +1,56 @@
+"""Bench: cross-region overlap of the pipe-connected pricing pipeline.
+
+MKPipe-style pipe connectivity only earns its keep if co-scheduling the
+regions actually hides stage latency: the pipelined makespan must land
+well under the stage-sequential sum.  This bench records both, asserts
+the overlap, and checks the fused single-region formulation stays the
+numerical oracle while the transfer-bound channel-affinity split keeps
+its ~2x.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.pricing import PricingPipelineConfig, run_pricing_pipeline
+from repro.harness.pipelines import TRANSFER_BOUND_CONFIG
+
+
+def test_pipeline_overlap(benchmark):
+    """Pipelined makespan < 0.85x the sum of stage-sequential runs."""
+    cfg = PricingPipelineConfig()
+    pipelined = benchmark(lambda: run_pricing_pipeline(cfg))
+    sequential = run_pricing_pipeline(cfg, mode="sequential")
+    ratio = pipelined.cycles / sequential.cycles
+    print(f"\npipelined {pipelined.cycles} vs sequential "
+          f"{sequential.cycles} cycles (ratio {ratio:.3f})")
+    assert ratio < 0.85
+    # overlap must not change what gets computed
+    assert np.array_equal(pipelined.priced(), sequential.priced())
+    assert pipelined.aggregate_totals == sequential.aggregate_totals
+
+
+def test_pipeline_matches_fused_oracle(benchmark):
+    cfg = PricingPipelineConfig()
+    pipelined = benchmark(lambda: run_pricing_pipeline(cfg))
+    fused = run_pricing_pipeline(cfg, mode="fused")
+    assert (
+        pipelined.memory.as_float_array()
+        == fused.memory.as_float_array()
+    ).all()
+    assert pipelined.portfolio_total == fused.portfolio_total
+
+
+def test_channel_affinity_speedup(benchmark):
+    """Second channel with per-region affinity ~2x on transfer-bound."""
+    one = benchmark(lambda: run_pricing_pipeline(TRANSFER_BOUND_CONFIG))
+    two = run_pricing_pipeline(
+        dataclasses.replace(
+            TRANSFER_BOUND_CONFIG, n_channels=2, channel_affinity=(0, 1)
+        )
+    )
+    speedup = one.cycles / two.cycles
+    print(f"\n2-channel affinity speedup: {speedup:.2f}x "
+          f"({one.cycles} -> {two.cycles} cycles)")
+    assert speedup > 1.75
+    assert np.array_equal(one.priced(), two.priced())

@@ -45,6 +45,22 @@ from repro.core.decoupled import (
     DecoupledWorkItems,
     build_transfer_only_region,
 )
+from repro.core.pipes import (
+    MultiRegionRunner,
+    Pipe,
+    PipeError,
+    PipelineGraph,
+    PipelineReport,
+)
+from repro.core.pricing import (
+    AggregatingTransferEngine,
+    PricingPipelineConfig,
+    PricingProcess,
+    PricingResult,
+    build_fused_pricing_region,
+    build_pricing_pipeline,
+    run_pricing_pipeline,
+)
 from repro.core.schedule import ScheduleTrace, trace_region
 from repro.core.hls_report import HlsReport, LoopInfo, synthesize_report
 from repro.core.fifo_sizing import (
@@ -88,6 +104,18 @@ __all__ = [
     "DecoupledWorkItems",
     "DEFAULT_FREQUENCY_HZ",
     "build_transfer_only_region",
+    "Pipe",
+    "PipeError",
+    "PipelineGraph",
+    "PipelineReport",
+    "MultiRegionRunner",
+    "PricingProcess",
+    "PricingPipelineConfig",
+    "PricingResult",
+    "AggregatingTransferEngine",
+    "build_pricing_pipeline",
+    "build_fused_pricing_region",
+    "run_pricing_pipeline",
     "ScheduleTrace",
     "trace_region",
     "NDRangeMapping",

@@ -69,7 +69,18 @@ class _ProcessStatsMap(dict):
     each :class:`~repro.core.memory.ChannelStats` exactly once, so
     aggregations over ``process_stats.values()`` no longer double-count
     the first channel.
+
+    The alias covers the whole mapping surface — ``[]``, ``get``,
+    ``in``, ``pop``, ``setdefault`` — and :meth:`copy` returns another
+    alias-aware map.  The one spot the alias cannot reach is a plain
+    ``dict(process_stats)`` copy: CPython's dict-from-dict fast path
+    copies stored items only, so the plain copy holds channel 0 exactly
+    once, under its indexed key.
     """
+
+    @staticmethod
+    def _resolve(key):
+        return "__memory_channel_0__" if key == LEGACY_CHANNEL_KEY else key
 
     def __missing__(self, key):
         if key == LEGACY_CHANNEL_KEY:
@@ -88,6 +99,26 @@ class _ProcessStatsMap(dict):
             return self[key]
         except KeyError:
             return default
+
+    _POP_MISSING = object()
+
+    def pop(self, key, default=_POP_MISSING):
+        # popping the legacy alias pops the canonical key, so the alias
+        # stops resolving afterwards (there is nothing left to alias)
+        try:
+            return dict.pop(self, self._resolve(key))
+        except KeyError:
+            if default is not self._POP_MISSING:
+                return default
+            raise KeyError(key) from None
+
+    def setdefault(self, key, default=None):
+        # an absent legacy key stores under the canonical indexed key;
+        # a present one returns channel 0 without storing the alias
+        return dict.setdefault(self, self._resolve(key), default)
+
+    def copy(self) -> "_ProcessStatsMap":
+        return _ProcessStatsMap(self)
 
 
 @dataclass

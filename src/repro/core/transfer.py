@@ -181,6 +181,18 @@ class TransferEngine(Process):
         self.stats.cycles += count
         self.stats.stall_cycles += count
 
+    def _ingest(self, value: float) -> float:
+        """Observe/transform one value on its way into the packer.
+
+        The hook subclasses override instead of :meth:`tick`: packing a
+        value is combinational, so a subclass folding it into a running
+        aggregate (``repro.core.pricing.AggregatingTransferEngine``)
+        costs no extra cycles and — crucially — keeps the inherited
+        ``tick`` identity, so the fast-path hints stay valid
+        (``_hintable`` guards on ``tick``, not on this hook).
+        """
+        return value
+
     def tick(self, cycle: int) -> bool:
         if self._state is _State.WAIT_BURST:
             if self._pending is not None and self._pending.done:
@@ -201,7 +213,7 @@ class TransferEngine(Process):
             return self._account_bubble()  # II bubble: time passes by design
         if not self.source.can_read(cycle):
             return self._account(False)
-        value = self.source.read()
+        value = self._ingest(self.source.read())
         if not self.dependence_false:
             self._pack_stall = self.NAIVE_PACK_II - 1
         self.stats.iterations += 1

@@ -60,6 +60,12 @@ registry.register_lazy(
     "(slice cost axis, frequency-derated wall time)",
 )
 registry.register_lazy(
+    "pipeline",
+    "repro.harness.pipelines:run_pipeline",
+    "pipe-connected 3-region pricing pipeline: pipelined vs fused vs "
+    "sequential, plus the 1-vs-2 channel-affinity split",
+)
+registry.register_lazy(
     "serve-tier",
     "repro.serve.bench:run_serve_tier",
     "sharded serving tier under heavy-tailed load: "

@@ -61,13 +61,27 @@ class ShardRing:
         Initial shard names (order-insensitive; the ring is a pure
         function of the set).
     replicas:
-        Virtual nodes per shard; more replicas, smoother balance.
+        Virtual nodes per unit-weight shard; more replicas, smoother
+        balance.
     seed:
         Ring salt, so two independent tiers can shard differently.
+    weights:
+        Optional per-shard capacity weight (default 1.0 each).  A
+        shard's virtual-node count scales with its weight —
+        ``max(1, round(replicas * weight))`` — so a 2x-capacity shard
+        owns roughly twice the key space.  The ring stays a pure
+        function of ``(shard set, weights, replicas, seed)``:
+        insertion order never matters, and the vnode points of one
+        shard depend only on its own name and weight, so reweighting
+        or removing a shard re-homes only that shard's arcs.
     """
 
     def __init__(
-        self, shards: Iterable[str], replicas: int = 64, seed: int = 0
+        self,
+        shards: Iterable[str],
+        replicas: int = 64,
+        seed: int = 0,
+        weights: dict[str, float] | None = None,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -76,8 +90,13 @@ class ShardRing:
         self._lock = threading.Lock()
         self._points: list[tuple[int, str]] = []
         self._shards: set[str] = set()
+        self._weights: dict[str, float] = {}
+        weights = weights or {}
         for shard in shards:
-            self.add(shard)
+            self.add(shard, weight=weights.get(shard, 1.0))
+        unknown = set(weights) - self._shards
+        if unknown:
+            raise ValueError(f"weights for unknown shards: {sorted(unknown)}")
         if not self._shards:
             raise ValueError("ring needs at least one shard")
 
@@ -90,12 +109,25 @@ class ShardRing:
         with self._lock:
             return sorted(self._shards)
 
-    def add(self, shard: str) -> None:
+    @property
+    def weights(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._weights)
+
+    def vnode_count(self, weight: float) -> int:
+        """Virtual nodes a shard of ``weight`` capacity receives."""
+        if weight <= 0:
+            raise ValueError("shard weight must be positive")
+        return max(1, round(self.replicas * weight))
+
+    def add(self, shard: str, weight: float = 1.0) -> None:
+        n_points = self.vnode_count(weight)  # validates the weight
         with self._lock:
             if shard in self._shards:
                 raise ValueError(f"shard {shard!r} already on the ring")
             self._shards.add(shard)
-            for i in range(self.replicas):
+            self._weights[shard] = weight
+            for i in range(n_points):
                 point = (stable_hash(("vnode", shard, i), self.seed), shard)
                 bisect.insort(self._points, point)
 
@@ -106,6 +138,7 @@ class ShardRing:
             if len(self._shards) == 1:
                 raise ValueError("cannot remove the last shard")
             self._shards.discard(shard)
+            self._weights.pop(shard, None)
             self._points = [p for p in self._points if p[1] != shard]
 
     def route(self, key: Hashable, avoid: frozenset = frozenset()) -> str:
@@ -178,6 +211,7 @@ class ShardedEngine:
         spill: int = 1,
         ring_replicas: int = 64,
         ring_seed: int = 0,
+        ring_weights: dict[str, float] | None = None,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -185,7 +219,12 @@ class ShardedEngine:
             raise ValueError("spill must be >= 0")
         self.spill = spill
         names = [f"shard{i}" for i in range(n_shards)]
-        self.ring = ShardRing(names, replicas=ring_replicas, seed=ring_seed)
+        self.ring = ShardRing(
+            names,
+            replicas=ring_replicas,
+            seed=ring_seed,
+            weights=ring_weights,
+        )
         self.shards: dict[str, ExecutionEngine] = {
             name: ExecutionEngine(
                 n_workers=n_workers,
@@ -264,23 +303,33 @@ class ShardedEngine:
         Deadline errors never reroute — the budget is end-to-end, and a
         second admission attempt would just burn more of it.  The last
         typed error propagates when every candidate refused.
+
+        A shard skipped for breaker health is *out* of this submit: it
+        is never revisited as a spillover target.  When every candidate
+        is unhealthy the job goes to the primary owner alone (whose
+        half-open breaker may still admit it, or whose typed error is
+        the honest answer) — walking the already-condemned spillover
+        shards would just probe breakers we decided not to trust.
         """
         ctx = job.trace
         prefs = self.ring.preference(job.batch_key())
         candidates = prefs[: 1 + self.spill]
         healthy = [n for n in candidates if self.shard_healthy(n)]
-        if healthy and len(healthy) < len(candidates):
-            self.metrics.counter("reroutes_breaker").inc(
-                len(candidates) - len(healthy)
+        if len(healthy) < len(candidates):
+            skipped = (
+                [n for n in candidates if n not in healthy]
+                if healthy
+                else candidates[1:]
             )
-            if ctx is not None:
-                for name in candidates:
-                    if name not in healthy:
+            if skipped:
+                self.metrics.counter("reroutes_breaker").inc(len(skipped))
+                if ctx is not None:
+                    for name in skipped:
                         ctx.emit(
                             "shard", "breaker_skip", t=time.monotonic(),
                             shard=name,
                         )
-        order = healthy or candidates
+        order = healthy or candidates[:1]
         if ctx is not None:
             ctx.emit(
                 "shard", "route", t=time.monotonic(),

@@ -72,30 +72,57 @@ class TierTelemetry:
             for name, key in _SHARD_COUNTERS.items()
         }
 
+    @staticmethod
+    def _clamped_delta(
+        current: dict, previous: dict
+    ) -> tuple[dict, int]:
+        """Per-key ``current - previous`` clamped at zero.
+
+        A counter going *backwards* between polls means its registry was
+        reset mid-window (autoscaler ``remove_worker`` swapping a
+        shard's engine, shard replacement) — the honest delta for the
+        window is unknown, and a negative one would poison every rate
+        and SLO ratio computed from it.  Each such key clamps to zero
+        and counts as one reset.
+        """
+        delta: dict = {}
+        resets = 0
+        for key, value in current.items():
+            d = value - previous.get(key, 0)
+            if d < 0:
+                resets += 1
+                d = 0
+            delta[key] = d
+        return delta, resets
+
     def poll(self, now: float | None = None) -> dict:
         """One snapshot-delta record; appends to :attr:`history`.
 
         The first poll establishes the baseline (deltas measure from
         tier start).  Rates are ``None`` on that first record — there
-        is no window to divide by yet.
+        is no window to divide by yet.  Deltas never go negative: a
+        counter that moved backwards (its registry was reset mid-window
+        by a scale-down or shard replacement) clamps to zero and is
+        tallied under ``counter_resets`` instead; SLO ratios keep their
+        ``None``-on-zero-denominator semantics.
         """
         t = time.monotonic() if now is None else now
         with self._lock:
             dt = None if self._last_t is None else max(0.0, t - self._last_t)
             shards: dict[str, dict] = {}
             total = {key: 0 for key in _SHARD_COUNTERS.values()}
+            total_resets = 0
             for name, shard in self.tier.shards.items():
                 current = self._shard_counters(shard)
                 previous = self._last_shard.get(name, {})
-                delta = {
-                    key: current[key] - previous.get(key, 0)
-                    for key in current
-                }
+                delta, resets = self._clamped_delta(current, previous)
+                total_resets += resets
                 for key, value in delta.items():
                     total[key] += value
                 breakers = shard.pool.breakers
                 shards[name] = {
                     **delta,
+                    "counter_resets": resets,
                     "queue_depth": len(shard.queue),
                     "healthy": self.tier.shard_healthy(name),
                     "breakers_open": sum(
@@ -109,10 +136,8 @@ class TierTelemetry:
                 counts = self.gateway.tenant_counts()
                 for tenant, current in counts.items():
                     previous = self._last_tenant.get(tenant, {})
-                    delta = {
-                        key: current[key] - previous.get(key, 0)
-                        for key in current
-                    }
+                    delta, resets = self._clamped_delta(current, previous)
+                    total_resets += resets
                     if any(delta.values()):
                         tenants[tenant] = delta
                 self._last_tenant = counts
@@ -146,6 +171,7 @@ class TierTelemetry:
                 "interval_s": dt,
                 "tier": {
                     **total,
+                    "counter_resets": total_resets,
                     "throughput_jps": (
                         total["completed"] / dt if dt else None
                     ),

@@ -28,6 +28,11 @@ from repro.surrogate.features import (
     config_features,
 )
 from repro.surrogate.model import DEFAULT_ERROR_BOUND, CycleSurrogate, SurrogateFit
+from repro.surrogate.pipe_sizing import (
+    PIPE_FEATURE_NAMES,
+    pipe_depth_features,
+    pruned_pipe_depth_sweep,
+)
 from repro.surrogate.pruning import (
     PrunedGridResult,
     PrunedSizingResult,
@@ -50,6 +55,9 @@ __all__ = [
     "pruned_candidate_indices",
     "pruned_stream_depth_sweep",
     "pruned_grid_sweep",
+    "PIPE_FEATURE_NAMES",
+    "pipe_depth_features",
+    "pruned_pipe_depth_sweep",
     "PrunedSizingResult",
     "PrunedGridResult",
 ]

@@ -54,12 +54,25 @@ class CycleSurrogate:
     ``ridge`` is the L2 penalty applied in *normalized* feature space
     (each column scaled to unit max), so a single default works across
     feature magnitudes spanning several orders of magnitude.
+
+    ``feature_names`` defaults to the analytic
+    :data:`~repro.surrogate.features.FEATURE_NAMES` vector; passing a
+    different tuple fits the same ridge/LOO machinery over any feature
+    basis (e.g. the pipe-depth basis of
+    :mod:`repro.surrogate.pipe_sizing`).
     """
 
-    def __init__(self, ridge: float = 1e-6):
+    def __init__(
+        self,
+        ridge: float = 1e-6,
+        feature_names: tuple[str, ...] = FEATURE_NAMES,
+    ):
         if ridge < 0:
             raise ValueError("ridge penalty must be non-negative")
+        if not feature_names:
+            raise ValueError("need at least one feature")
         self.ridge = ridge
+        self.feature_names = tuple(feature_names)
         self._weights: np.ndarray | None = None
         self.fit_info: SurrogateFit | None = None
 
@@ -76,9 +89,10 @@ class CycleSurrogate:
         """
         x = np.asarray(features, dtype=np.float64)
         y = np.asarray(cycles, dtype=np.float64)
-        if x.ndim != 2 or x.shape[1] != len(FEATURE_NAMES):
+        if x.ndim != 2 or x.shape[1] != len(self.feature_names):
             raise ValueError(
-                f"features must be (n, {len(FEATURE_NAMES)}); got {x.shape}"
+                f"features must be (n, {len(self.feature_names)}); "
+                f"got {x.shape}"
             )
         if y.shape != (x.shape[0],):
             raise ValueError("cycles must match features row-for-row")
@@ -93,7 +107,7 @@ class CycleSurrogate:
             errors.append(abs(pred - y[i]) / y[i] if y[i] else abs(pred))
         self.fit_info = SurrogateFit(
             coefficients=dict(
-                zip(FEATURE_NAMES, (float(v) for v in self._weights))
+                zip(self.feature_names, (float(v) for v in self._weights))
             ),
             loo_relative_errors=errors,
         )
@@ -118,9 +132,9 @@ class CycleSurrogate:
         squeeze = x.ndim == 1
         if squeeze:
             x = x[None, :]
-        if x.shape[1] != len(FEATURE_NAMES):
+        if x.shape[1] != len(self.feature_names):
             raise ValueError(
-                f"features must have {len(FEATURE_NAMES)} columns"
+                f"features must have {len(self.feature_names)} columns"
             )
         pred = x @ self._weights
         return pred[0] if squeeze else pred

@@ -1,0 +1,143 @@
+"""Surrogate-pruned pipe-depth sizing for multi-region pipelines.
+
+The inter-region :class:`~repro.core.pipes.Pipe` has the same sizing
+question as the intra-region FIFOs (``repro.core.fifo_sizing``): too
+shallow and the producer region back-pressures into lockstep, too deep
+and the BRAM budget pays for slack that buys no cycles.  An exhaustive
+sweep pays one multi-region cycle simulation per candidate depth; this
+module reuses the pruning machinery of :mod:`repro.surrogate.pruning`
+to simulate only {shallowest, middle, deepest} for calibration, score
+the rest with a :class:`~repro.surrogate.CycleSurrogate` over a
+pipe-specific feature basis, and simulate surviving candidates in
+ascending order with early exit.
+
+The feature basis is deliberately tiny: cycles as a function of pipe
+depth are flat once the pipe absorbs the stages' rate mismatch and grow
+roughly with the stall fraction — which scales like ``1/depth`` — below
+that, so ``(1, 1/depth, depth)`` spans the observed curves.  The same
+retention guarantee applies: with ``margin >= eps`` (the fit's
+leave-one-out relative error) the recommendation matches what
+:func:`repro.core.fifo_sizing.advise_stream_depth` returns over the
+same grid, because the deepest point — the comparison baseline — is
+always simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.fifo_sizing import DepthPoint
+from repro.surrogate.model import CycleSurrogate
+from repro.surrogate.pruning import PrunedSizingResult, margin_for_error
+
+__all__ = [
+    "PIPE_FEATURE_NAMES",
+    "pipe_depth_features",
+    "pruned_pipe_depth_sweep",
+]
+
+#: feature basis of the pipe-depth surrogate (see module docstring)
+PIPE_FEATURE_NAMES = ("const", "inv_depth", "depth")
+
+
+def pipe_depth_features(depth: int) -> np.ndarray:
+    """Feature row for one candidate pipe depth."""
+    if depth < 1:
+        raise ValueError("pipe depth must be >= 1")
+    return np.array([1.0, 1.0 / depth, float(depth)], dtype=np.float64)
+
+
+def _simulate(build_runner: Callable[[int], object], depth: int) -> DepthPoint:
+    runner = build_runner(depth)
+    report = runner.run()
+    stats = report.stream_stats.values()
+    return DepthPoint(
+        depth=depth,
+        cycles=report.cycles,
+        max_high_water=max((s["high_water"] for s in stats), default=0),
+        total_write_stalls=sum(s["write_stalls"] for s in stats),
+    )
+
+
+def pruned_pipe_depth_sweep(
+    build_runner: Callable[[int], object],
+    depths: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    tolerance: float = 0.02,
+    margin: float | None = None,
+) -> PrunedSizingResult:
+    """Recommend the smallest adequate pipe depth, pruning the sweep.
+
+    Parameters
+    ----------
+    build_runner:
+        ``build_runner(depth) -> runner`` where ``runner.run()`` yields
+        a report with ``.cycles`` and ``.stream_stats`` — a
+        :class:`~repro.core.pipes.MultiRegionRunner` built over fresh
+        regions at the candidate pipe depth (a plain
+        :class:`~repro.core.dataflow.DataflowRegion` works too; the
+        sweep only consumes the report surface).
+    depths:
+        Candidate pipe depths, ascending and unique.
+    tolerance:
+        Runtime slack vs the deepest candidate that still counts as
+        adequate (0.02 = within 2 %).
+    margin:
+        Pruning margin; ``None`` derives it from the calibration fit's
+        leave-one-out error via
+        :func:`~repro.surrogate.margin_for_error`, floored at 0.05.
+    """
+    if not depths or list(depths) != sorted(set(depths)):
+        raise ValueError("depths must be ascending and unique")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+
+    calibration_depths = sorted(
+        {depths[0], depths[len(depths) // 2], depths[-1]}
+    )
+    simulated: dict[int, DepthPoint] = {
+        depth: _simulate(build_runner, depth)
+        for depth in calibration_depths
+    }
+
+    surrogate = CycleSurrogate(feature_names=PIPE_FEATURE_NAMES)
+    fit = surrogate.fit(
+        [pipe_depth_features(d) for d in calibration_depths],
+        [simulated[d].cycles for d in calibration_depths],
+    )
+    if margin is None:
+        # cap the error estimate: a fit this bad should widen the net,
+        # not blow the margin up to infinity
+        eps = min(fit.max_relative_error, 0.5)
+        margin = max(margin_for_error(eps), 0.05)
+    predicted = {
+        depth: float(surrogate.predict(pipe_depth_features(depth)))
+        for depth in depths
+    }
+
+    deepest_cycles = simulated[depths[-1]].cycles
+    threshold = (1.0 + tolerance) * (1.0 + margin) * deepest_cycles
+    candidates = sorted(
+        {d for d in depths if predicted[d] <= threshold}
+        | set(calibration_depths)
+    )
+
+    recommended = depths[-1]
+    for depth in candidates:
+        if depth not in simulated:
+            simulated[depth] = _simulate(build_runner, depth)
+        if simulated[depth].cycles <= deepest_cycles * (1.0 + tolerance):
+            recommended = depth
+            break
+
+    return PrunedSizingResult(
+        points=[simulated[d] for d in sorted(simulated)],
+        recommended_depth=recommended,
+        tolerance=tolerance,
+        margin=margin,
+        candidate_depths=candidates,
+        simulated_depths=sorted(simulated),
+        predicted=predicted,
+        fit=fit,
+    )

@@ -397,3 +397,149 @@ def test_subclassed_tick_disables_hints():
 
     source = Throttled("src", Stream("s", depth=2), 8)
     assert source.next_event(0) is None
+
+
+# ---------------------------------------------------------------------------
+# pipe-connected topologies: the fast path must compose across regions
+# ---------------------------------------------------------------------------
+
+from repro.core.pipes import MultiRegionRunner, Pipe, PipelineGraph
+from repro.core.pricing import PricingPipelineConfig, run_pricing_pipeline
+
+
+def pipeline_report_fields(report):
+    """Every PipelineReport field, flattened to plain comparable values."""
+    return {
+        "cycles": report.cycles,
+        "mode": report.mode,
+        "region_done_cycles": report.region_done_cycles,
+        "pipe_stats": report.pipe_stats,
+        "process_stats": {
+            name: vars(stats) for name, stats in report.process_stats.items()
+        },
+        "region_reports": {
+            name: report_fields(rep)
+            for name, rep in report.region_reports.items()
+        },
+        "stream_stats": report.stream_stats,
+    }
+
+
+PIPELINE_CONFIGS = {
+    "default": PricingPipelineConfig(),
+    "shallow_pipes": PricingPipelineConfig(pipe_depth=2, stream_depth=2),
+    "two_channels": PricingPipelineConfig(
+        n_channels=2, channel_affinity=(0, 1)
+    ),
+    "multi_sector": PricingPipelineConfig(
+        kernel=GammaKernelConfig(
+            limit_main=64, sector_variances=(1.39, 0.5)
+        )
+    ),
+    "four_items": PricingPipelineConfig(n_work_items=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PIPELINE_CONFIGS))
+def test_pipeline_identical_reports(name):
+    config = PIPELINE_CONFIGS[name]
+    ref = run_pricing_pipeline(config, fast_path=False)
+    fp = run_pricing_pipeline(config, fast_path=True)
+    assert pipeline_report_fields(ref.report) == pipeline_report_fields(
+        fp.report
+    )
+    assert [vars(c.stats) for c in ref.build.channels] == [
+        vars(c.stats) for c in fp.build.channels
+    ]
+    assert (
+        ref.memory.as_float_array() == fp.memory.as_float_array()
+    ).all()
+    assert ref.skipped_cycles == 0
+    assert fp.skipped_cycles > 0
+
+
+def build_starved_pipeline():
+    """Producer region supplies fewer values than one burst: the
+    consumer region's engine starves — a deadlock spanning two regions."""
+    memory = GlobalMemory(16)
+    channel = MemoryChannel(MemoryChannelConfig(), memory)
+    pipe = Pipe("p", depth=4)
+    producer = DataflowRegion("producer")
+    producer.add(DummySource("src", pipe, 8))  # burst needs 16 values
+    consumer = DataflowRegion("consumer")
+    consumer.add(
+        TransferEngine(
+            "eng", 0, pipe, channel,
+            burst_words=1, bursts_per_sector=1, sectors=1, block_offset=1,
+        )
+    )
+    consumer.attach_memory_channel(channel)
+    graph = PipelineGraph("starved_pipeline")
+    graph.add_region(producer)
+    graph.add_region(consumer)
+    return MultiRegionRunner(graph)
+
+
+def test_cross_region_deadlock_identical_on_both_paths():
+    messages, stats = [], []
+    for fast in (False, True):
+        runner = build_starved_pipeline()
+        with pytest.raises(DeadlockError) as excinfo:
+            runner.run(fast_path=fast)
+        messages.append(str(excinfo.value))
+        stats.append(
+            {
+                p.name: vars(p.stats)
+                for r in runner.graph.regions
+                for p in r.processes
+            }
+        )
+    assert messages[0] == messages[1]
+    # the finished producer region is omitted; the stuck one is named
+    assert "starved_pipeline" in messages[0]
+    assert "region 'consumer'" in messages[0]
+    assert stats[0] == stats[1]
+
+
+@pytest.mark.parametrize("max_cycles", [100, 137, 350, 437])
+def test_pipeline_max_cycles_abort_identical(max_cycles):
+    """The runaway guard fires at the same cycle with the same stats
+    across both paths, even mid-window, with the abort spanning regions
+    (stage two and three are still live when the guard fires)."""
+    config = PIPELINE_CONFIGS["default"]
+    snap = []
+    for fast in (False, True):
+        result_stats = None
+        from repro.core.pricing import build_pricing_pipeline
+
+        build = build_pricing_pipeline(config)
+        runner = build.runner
+        with pytest.raises(RuntimeError) as excinfo:
+            runner.run(max_cycles=max_cycles, fast_path=fast)
+        result_stats = {
+            p.name: vars(p.stats)
+            for r in runner.graph.regions
+            for p in r.processes
+        }
+        streams = {
+            s.name: vars(s.stats)
+            for r in runner.graph.regions
+            for p in r.processes
+            for s in (*p.inputs(), *p.outputs())
+        }
+        snap.append(
+            (
+                str(excinfo.value),
+                result_stats,
+                [vars(c.stats) for c in build.channels],
+                streams,
+                runner.skipped_cycles if fast else None,
+            )
+        )
+    ref, fast = snap
+    assert ref[:4] == fast[:4]
+    if max_cycles > 137:
+        # below ~100 cycles the RNG stage keeps every region live, so
+        # there is no dead window yet; past that the guard must have
+        # interrupted a genuinely skipping run
+        assert fast[4] > 0

@@ -146,3 +146,116 @@ class TestShardedEngine:
         with ShardedEngine(n_shards=2, n_workers=1) as tier:
             handles = [tier.submit(_job(seed=i)) for i in range(8)]
         assert tier.unresolved_handles(handles) == 0
+
+
+class TestWeightedRing:
+    def test_vnode_count_scales_with_weight(self):
+        ring = ShardRing(["s0", "s1"], replicas=64)
+        assert ring.vnode_count(1.0) == 64
+        assert ring.vnode_count(2.0) == 128
+        assert ring.vnode_count(0.001) == 1  # floor at one point
+        with pytest.raises(ValueError):
+            ring.vnode_count(0.0)
+        with pytest.raises(ValueError):
+            ring.vnode_count(-1.0)
+
+    def test_weights_default_to_one(self):
+        unweighted = ShardRing(["s0", "s1"])
+        weighted = ShardRing(["s0", "s1"], weights={"s0": 1.0, "s1": 1.0})
+        keys = [("key", i) for i in range(100)]
+        assert [unweighted.route(k) for k in keys] == [
+            weighted.route(k) for k in keys
+        ]
+        assert weighted.weights == {"s0": 1.0, "s1": 1.0}
+
+    def test_weighted_routing_is_order_insensitive(self):
+        weights = {"s0": 2.0, "s1": 1.0, "s2": 0.5}
+        a = ShardRing(["s0", "s1", "s2"], weights=weights)
+        b = ShardRing(["s2", "s0", "s1"], weights=weights)
+        keys = [("key", i) for i in range(200)]
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_heavier_shard_owns_more_keys(self):
+        ring = ShardRing(["s0", "s1"], weights={"s0": 3.0, "s1": 1.0})
+        owned = [ring.route(("key", i)) for i in range(2000)]
+        heavy = owned.count("s0")
+        light = owned.count("s1")
+        # 3:1 capacity should land clearly more than half on s0, with
+        # slack for hash-arc variance
+        assert heavy > 2 * light
+
+    def test_reweight_via_remove_add_rehomes_only_that_shard(self):
+        ring = ShardRing(
+            ["s0", "s1", "s2"], weights={"s0": 1.0, "s1": 1.0, "s2": 1.0}
+        )
+        keys = [("key", i) for i in range(300)]
+        before = {k: ring.route(k) for k in keys}
+        ring.remove("s2")
+        ring.add("s2", weight=0.25)  # shrink s2's arc
+        moved = [k for k in keys if ring.route(k) != before[k]]
+        assert moved
+        # shrinking s2 only sheds keys *from* s2; nobody else's keys move
+        assert all(before[k] == "s2" for k in moved)
+
+    def test_weights_for_unknown_shard_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard"):
+            ShardRing(["s0"], weights={"s0": 1.0, "ghost": 2.0})
+
+    def test_tier_plumbs_ring_weights(self):
+        tier = ShardedEngine(
+            n_shards=2, n_workers=1,
+            ring_weights={"shard0": 2.0, "shard1": 1.0},
+        )
+        assert tier.ring.weights == {"shard0": 2.0, "shard1": 1.0}
+
+
+class TestUnhealthySubmit:
+    def test_all_candidates_unhealthy_touches_only_primary(self):
+        """When every candidate shard is unhealthy the job goes to the
+        primary owner alone — the condemned spillover shards are never
+        probed within that submit."""
+        with ShardedEngine(n_shards=3, n_workers=1, spill=2) as tier:
+            job = _job()
+            primary = tier.route(job)
+            tier.shard_healthy = lambda name: False  # everything condemned
+            attempted = []
+            for name, shard in tier.shards.items():
+                real = shard.submit
+                def _recording(j, _name=name, _real=real):
+                    attempted.append(_name)
+                    return _real(j)
+                shard.submit = _recording
+            handle = tier.submit(job)
+            handle.result(timeout=30)
+        assert attempted == [primary]
+        # the spillover candidates were skipped for breaker health
+        assert tier.metrics.counter("reroutes_breaker").value == 2
+
+    def test_breaker_skipped_shard_not_retried_as_spillover(self):
+        """A shard skipped for health is out of the submit entirely: when
+        the remaining healthy candidates all shed, the typed error
+        propagates without ever touching the skipped shard."""
+        with ShardedEngine(n_shards=3, n_workers=1, spill=2) as tier:
+            job = _job()
+            prefs = tier.ring.preference(job.batch_key())
+            sick = prefs[1]  # a spillover candidate, not the primary
+            real_healthy = ShardedEngine.shard_healthy
+            tier.shard_healthy = (
+                lambda name: name != sick and real_healthy(tier, name)
+            )
+            attempted = []
+
+            def _full(j, _name=None):
+                attempted.append(_name)
+                raise JobQueueFull("simulated full queue")
+
+            for name, shard in tier.shards.items():
+                shard.submit = (
+                    lambda j, _name=name: _full(j, _name)
+                )
+            with pytest.raises(JobQueueFull):
+                tier.submit(job)
+        assert sick not in attempted
+        assert attempted == [prefs[0], prefs[2]]
+        assert tier.metrics.counter("reroutes_breaker").value == 1
+        assert tier.metrics.counter("jobs_shed").value == 1

@@ -182,3 +182,98 @@ class TestExposition:
         assert "engine_shard1_jobs_submitted_total" in text
         # histograms expose summary-style quantile samples
         assert 'quantile="0.50"' in text
+
+
+class _FakePool:
+    breakers: dict = {}
+
+
+class _FakeShard:
+    """Just enough surface for TierTelemetry: metrics + queue + pool."""
+
+    def __init__(self):
+        from repro.obs import MetricsRegistry
+
+        self.metrics = MetricsRegistry(prefix="engine.")
+        self.queue = []
+        self.pool = _FakePool()
+
+
+class _FakeTier:
+    def __init__(self, shard_names=("shard0",)):
+        self.shards = {name: _FakeShard() for name in shard_names}
+
+    def shard_healthy(self, name):
+        return True
+
+
+class TestCounterResets:
+    """A registry reset mid-window (scale-down swapping a shard's
+    engine) makes counters go backwards; deltas must clamp at zero and
+    be tallied under ``counter_resets`` instead of poisoning rates."""
+
+    def test_reset_clamps_to_zero_and_is_counted(self):
+        tier = _FakeTier()
+        shard = tier.shards["shard0"]
+        shard.metrics.counter("jobs_submitted").inc(10)
+        shard.metrics.counter("jobs_completed").inc(8)
+        telemetry = TierTelemetry(tier)
+        telemetry.poll(now=1.0)
+
+        # mid-window scale-down: the shard's engine (and registry) is
+        # replaced, so cumulative counters restart from zero
+        tier.shards["shard0"] = _FakeShard()
+        tier.shards["shard0"].metrics.counter("jobs_submitted").inc(2)
+        tier.shards["shard0"].metrics.counter("jobs_completed").inc(1)
+        record = telemetry.poll(now=2.0)
+
+        block = record["shards"]["shard0"]
+        assert all(
+            block[key] >= 0
+            for key in ("submitted", "completed", "shed", "failed")
+        )
+        # 2 < 10 and 1 < 8: both counters moved backwards
+        assert block["submitted"] == 0
+        assert block["completed"] == 0
+        assert block["counter_resets"] == 2
+        assert record["tier"]["counter_resets"] == 2
+        assert record["tier"]["submitted"] == 0
+
+    def test_slo_keeps_none_on_zero_denominator_after_reset(self):
+        tier = _FakeTier()
+        tier.shards["shard0"].metrics.counter("jobs_completed").inc(5)
+        telemetry = TierTelemetry(tier)
+        telemetry.poll(now=1.0)
+        tier.shards["shard0"] = _FakeShard()  # everything back to zero
+        record = telemetry.poll(now=2.0)
+        # the clamped window resolved nothing: ratios are None, not 0/0
+        assert record["slo"]["availability"] is None
+        assert record["slo"]["deadline_attainment"] is None
+        assert record["slo"]["shed_rate"] is None
+
+    def test_unaffected_shard_keeps_honest_deltas(self):
+        tier = _FakeTier(("shard0", "shard1"))
+        for name in tier.shards:
+            tier.shards[name].metrics.counter("jobs_completed").inc(4)
+        telemetry = TierTelemetry(tier)
+        telemetry.poll(now=1.0)
+        tier.shards["shard0"] = _FakeShard()  # only shard0 resets
+        tier.shards["shard1"].metrics.counter("jobs_completed").inc(3)
+        record = telemetry.poll(now=2.0)
+        assert record["shards"]["shard0"]["completed"] == 0
+        assert record["shards"]["shard0"]["counter_resets"] >= 1
+        assert record["shards"]["shard1"]["completed"] == 3
+        assert record["shards"]["shard1"]["counter_resets"] == 0
+        assert record["tier"]["completed"] == 3
+
+    def test_no_resets_on_monotone_counters(self):
+        tier = _FakeTier()
+        counter = tier.shards["shard0"].metrics.counter("jobs_completed")
+        counter.inc(2)
+        telemetry = TierTelemetry(tier)
+        first = telemetry.poll(now=1.0)
+        counter.inc(5)
+        second = telemetry.poll(now=2.0)
+        assert first["tier"]["counter_resets"] == 0
+        assert second["tier"]["counter_resets"] == 0
+        assert second["shards"]["shard0"]["completed"] == 5

@@ -1,0 +1,98 @@
+"""Pipe-depth sizing: pruned sweep vs the exhaustive advisor.
+
+The retention story mirrors ``test_pruning``: with the derived margin,
+the pruned pipe-depth sweep must recommend exactly what the exhaustive
+:func:`repro.core.fifo_sizing.advise_stream_depth` picks over the same
+grid, while simulating strictly fewer depths whenever pruning bites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo_sizing import advise_stream_depth
+from repro.core.kernel import GammaKernelConfig
+from repro.core.pricing import PricingPipelineConfig, build_pricing_pipeline
+from repro.surrogate import (
+    PIPE_FEATURE_NAMES,
+    pipe_depth_features,
+    pruned_pipe_depth_sweep,
+)
+
+BASE = PricingPipelineConfig(
+    n_work_items=2, kernel=GammaKernelConfig(limit_main=64)
+)
+DEPTHS = (2, 4, 8, 16, 32, 64)
+
+
+def _build_runner(depth):
+    return build_pricing_pipeline(BASE, pipe_depth=depth).runner
+
+
+class TestFeatures:
+    def test_basis_shape(self):
+        row = pipe_depth_features(8)
+        assert row.shape == (len(PIPE_FEATURE_NAMES),)
+        assert row[0] == 1.0
+        assert row[1] == pytest.approx(1.0 / 8.0)
+        assert row[2] == 8.0
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            pipe_depth_features(0)
+
+
+class TestPrunedSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return pruned_pipe_depth_sweep(_build_runner, depths=DEPTHS)
+
+    def test_matches_exhaustive_advisor(self, result):
+        exhaustive = advise_stream_depth(_build_runner, depths=DEPTHS)
+        assert result.recommended_depth == exhaustive.recommended_depth
+        # simulated points agree with the exhaustive sweep point-for-point
+        exhaustive_points = {p.depth: p for p in exhaustive.points}
+        for point in result.points:
+            twin = exhaustive_points[point.depth]
+            assert point.cycles == twin.cycles
+            assert point.max_high_water == twin.max_high_water
+            assert point.total_write_stalls == twin.total_write_stalls
+
+    def test_calibration_depths_always_simulated(self, result):
+        middle = DEPTHS[len(DEPTHS) // 2]
+        assert {DEPTHS[0], middle, DEPTHS[-1]} <= set(
+            result.simulated_depths
+        )
+
+    def test_pruning_actually_skips_depths(self, result):
+        # the pricing pipeline's cycle curve is flat beyond a shallow
+        # knee, so the surrogate must rule out part of the grid
+        assert len(result.simulated_depths) < len(DEPTHS)
+
+    def test_every_depth_scored(self, result):
+        assert set(result.predicted) == set(DEPTHS)
+        assert all(np.isfinite(v) for v in result.predicted.values())
+
+    def test_margin_floor(self, result):
+        assert result.margin >= 0.05
+
+
+class TestValidation:
+    def test_depths_must_be_ascending_unique(self):
+        with pytest.raises(ValueError):
+            pruned_pipe_depth_sweep(_build_runner, depths=(8, 2))
+        with pytest.raises(ValueError):
+            pruned_pipe_depth_sweep(_build_runner, depths=(2, 2, 4))
+        with pytest.raises(ValueError):
+            pruned_pipe_depth_sweep(_build_runner, depths=())
+
+    def test_tolerance_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            pruned_pipe_depth_sweep(
+                _build_runner, depths=DEPTHS, tolerance=-0.1
+            )
+
+    def test_explicit_margin_respected(self):
+        result = pruned_pipe_depth_sweep(
+            _build_runner, depths=(2, 8, 32), margin=0.4
+        )
+        assert result.margin == 0.4

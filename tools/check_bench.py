@@ -49,6 +49,10 @@ DEFAULT_RULES: tuple = (
     ("*wall_seconds", "skip"),
     ("*_ms", "skip"),
     ("*_per_s", "skip"),
+    # the pipeline block is deterministic end to end (cycle counts and
+    # ratios of cycle counts), so it gets the exact band — except the
+    # raw timing, which the *_ms rule above already skips
+    ("pipeline.*", 1e-6),
     ("*speedup*", 0.75),
     # deterministic given the data, but the lstsq fit runs through BLAS
     ("*max_loo_relative_error", 0.05),
@@ -162,6 +166,7 @@ def _measure_suite(suite: str) -> dict:
             fastpath=record_bench.bench_fastpath(),
             pruned_sweep=record_bench.bench_pruned_sweep(),
             surrogate=record_bench.bench_surrogate_error(),
+            pipeline=record_bench.bench_pipeline(),
         )
     else:
         record["serving"] = record_bench.bench_serving()

@@ -162,6 +162,59 @@ def bench_surrogate_error() -> dict:
     }
 
 
+def bench_pipeline() -> dict:
+    """Pipe-connected 3-region pipeline: overlap + channel affinity.
+
+    Everything except ``pipelined_ms`` is a deterministic function of
+    the pinned configs: cycle counts, the overlap ratio (pipelined
+    makespan over the stage-sequential sum), the channel-affinity gain
+    on the transfer-bound variant, and the pruned sweep's pipe-depth
+    recommendation.
+    """
+    from repro.core.pricing import (
+        PricingPipelineConfig,
+        build_pricing_pipeline,
+        run_pricing_pipeline,
+    )
+    from repro.harness.pipelines import (
+        PIPE_SWEEP_DEPTHS,
+        TRANSFER_BOUND_CONFIG,
+    )
+    from repro.surrogate import pruned_pipe_depth_sweep
+
+    cfg = PricingPipelineConfig()
+    pipelined_s, pipelined = _best_of(lambda: run_pricing_pipeline(cfg))
+    fused = run_pricing_pipeline(cfg, mode="fused")
+    sequential = run_pricing_pipeline(cfg, mode="sequential")
+    assert pipelined.portfolio_total == fused.portfolio_total
+    overlap = pipelined.cycles / sequential.cycles
+    assert overlap < 0.85, "co-scheduling must hide stage latency"
+
+    one = run_pricing_pipeline(TRANSFER_BOUND_CONFIG)
+    two = run_pricing_pipeline(
+        dataclasses.replace(
+            TRANSFER_BOUND_CONFIG, n_channels=2, channel_affinity=(0, 1)
+        )
+    )
+    sweep = pruned_pipe_depth_sweep(
+        lambda depth: build_pricing_pipeline(cfg, pipe_depth=depth).runner,
+        depths=PIPE_SWEEP_DEPTHS,
+    )
+    return {
+        "pipelined_cycles": pipelined.cycles,
+        "fused_cycles": fused.cycles,
+        "sequential_cycles": sequential.cycles,
+        "overlap_ratio": round(overlap, 4),
+        "skipped_cycles": pipelined.skipped_cycles,
+        "portfolio_total": round(pipelined.portfolio_total, 6),
+        "transfer_bound_1ch_cycles": one.cycles,
+        "transfer_bound_2ch_cycles": two.cycles,
+        "channel_gain": round(one.cycles / two.cycles, 2),
+        "recommended_pipe_depth": sweep.recommended_depth,
+        "pipelined_ms": round(1e3 * pipelined_s, 1),
+    }
+
+
 def bench_serving() -> dict:
     """Offered-load sweep of the sharded tier (virtual clock).
 
@@ -203,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
             fastpath=bench_fastpath(),
             pruned_sweep=bench_pruned_sweep(),
             surrogate=bench_surrogate_error(),
+            pipeline=bench_pipeline(),
         )
     else:
         record["serving"] = bench_serving()
