@@ -11,6 +11,8 @@ Usage::
     python -m repro trace-report out.json   # stall-attribution table
     python -m repro --faults plan.json serve-bench   # fault injection
     python -m repro chaos                   # the seeded resilience run
+    python -m repro campaign run --db c.sqlite       # resumable campaign
+    python -m repro campaign status --db c.sqlite    # row/step progress
 
 The experiment table derives from :mod:`repro.harness.registry`; new
 drivers register there (eagerly or lazily) and appear here without
@@ -45,22 +47,9 @@ def _experiments() -> dict:
 EXPERIMENTS = _experiments()
 
 
-def _jsonable(value):
-    """Coerce driver output cells (numpy scalars included) to JSON types."""
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    for caster in (int, float):
-        try:
-            cast = caster(value)
-        except (TypeError, ValueError):
-            continue
-        if cast == value:
-            return cast
-    return str(value)
+# the coercion lives in the harness now so the campaign store shares
+# it; the old private name stays importable for downstream tooling
+from repro.harness.reporting import jsonable as _jsonable  # noqa: E402
 
 
 def result_record(name: str, result, elapsed_s: float) -> dict:
@@ -162,6 +151,13 @@ def request_trace_report(path: str, top: int = 10) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "campaign":
+        # the campaign CLI owns its own flags (--db, --plan, --workers);
+        # dispatch before the experiment parser can reject them
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(raw[1:])
     experiments = _experiments()
     parser = argparse.ArgumentParser(
         prog="python -m repro",

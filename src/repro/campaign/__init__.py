@@ -1,0 +1,46 @@
+"""Resumable sqlite-backed experiment campaigns.
+
+* :mod:`repro.campaign.store` — one row per experiment config with
+  transactional claiming and provenance columns,
+* :mod:`repro.campaign.dag` — the resumable
+  ``calibrate → sweep → validate → report`` step DAG,
+* :mod:`repro.campaign.campaign` — registry runners as row payloads,
+  worker loop, plans and the deterministic report,
+* :mod:`repro.campaign.cli` — ``python -m repro campaign …``.
+
+See ``docs/campaigns.md`` for the schema, the claim protocol and the
+resume semantics.
+"""
+
+from repro.campaign.campaign import (
+    PLANS,
+    CampaignPlan,
+    build_dag,
+    execute_payload,
+    render_report,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.dag import Step, StepDAG
+from repro.campaign.store import (
+    CampaignRow,
+    CampaignStore,
+    config_hash,
+    current_git_sha,
+)
+
+__all__ = [
+    "PLANS",
+    "CampaignPlan",
+    "CampaignRow",
+    "CampaignStore",
+    "Step",
+    "StepDAG",
+    "build_dag",
+    "config_hash",
+    "current_git_sha",
+    "execute_payload",
+    "render_report",
+    "run_campaign",
+    "run_worker",
+]

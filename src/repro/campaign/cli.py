@@ -1,0 +1,185 @@
+"""``python -m repro campaign …`` — run, resume and query campaigns.
+
+Subcommands::
+
+    campaign run    --db FILE [--plan default|mini] [--workers N]
+                    [--fresh] [--seed-only]
+    campaign resume --db FILE [--plan default|mini] [--workers N]
+    campaign worker --db FILE [--campaign NAME] [--max-rows N]
+    campaign status --db FILE [--campaign NAME] [--json]
+    campaign report --db FILE [--campaign NAME]
+
+``run`` is resumable by default (``--fresh`` re-runs every DAG step
+against the same database; use a new file for a truly from-scratch
+campaign).  ``resume`` is ``run`` plus an explicit release of claims
+orphaned by killed workers — call it when no worker is alive.
+``worker`` is the claim-loop subprocess ``--workers N`` spawns; it is
+equally usable by hand to drain a grid from several terminals or
+machines sharing one database file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _add_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", required=True, metavar="FILE",
+        help="campaign sqlite database (created on first use)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.campaign.campaign import PLANS, run_campaign, run_worker
+    from repro.campaign.store import CampaignStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="sqlite-backed resumable experiment campaigns "
+        "(see docs/campaigns.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="seed and execute a campaign")
+    _add_db(p_run)
+    p_run.add_argument(
+        "--plan", default="default", choices=sorted(PLANS),
+        help="grid to run (default: %(default)s)",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="claimed-row worker subprocesses (default: in-process)",
+    )
+    p_run.add_argument(
+        "--fresh", action="store_true",
+        help="re-run every DAG step instead of skipping done ones",
+    )
+    p_run.add_argument(
+        "--seed-only", action="store_true",
+        help="seed the grid rows and exit without executing",
+    )
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="release orphaned claims and continue an interrupted run",
+    )
+    _add_db(p_resume)
+    p_resume.add_argument(
+        "--plan", default="default", choices=sorted(PLANS),
+        help="grid of the interrupted campaign (default: %(default)s)",
+    )
+    p_resume.add_argument("--workers", type=int, default=1, metavar="N")
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and execute pending rows until drained"
+    )
+    _add_db(p_worker)
+    p_worker.add_argument(
+        "--campaign", default="default", help="campaign name in the file"
+    )
+    p_worker.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="stop after N rows even if more are pending",
+    )
+
+    p_status = sub.add_parser("status", help="row/step progress table")
+    _add_db(p_status)
+    p_status.add_argument("--campaign", default=None)
+    p_status.add_argument("--json", action="store_true")
+
+    p_report = sub.add_parser(
+        "report", help="print the stored campaign report"
+    )
+    _add_db(p_report)
+    p_report.add_argument("--campaign", default="default")
+
+    args = parser.parse_args(argv)
+
+    if args.command in ("run", "resume"):
+        out = run_campaign(
+            args.db,
+            plan=args.plan,
+            workers=args.workers,
+            resume=(args.command == "resume") or not args.fresh,
+            seed_only=getattr(args, "seed_only", False),
+        )
+        counts = out["counts"]
+        if "seeded" in out:
+            print(f"seeded {out['seeded']} rows -> {args.db}")
+            return 0
+        print(
+            f"campaign {args.plan!r}: "
+            + ", ".join(f"{k}={v}" for k, v in counts.items())
+        )
+        report = out["states"].get("report") or {}
+        if report.get("report"):
+            print()
+            print(report["report"], end="")
+        return 1 if counts["failed"] else 0
+
+    if args.command == "worker":
+        store = CampaignStore(args.db, campaign=args.campaign)
+        tally = run_worker(store, max_rows=args.max_rows)
+        print(
+            f"worker drained {tally['done']} rows "
+            f"({tally['failed']} failed)"
+        )
+        return 0
+
+    if args.command == "status":
+        names = (
+            [args.campaign]
+            if args.campaign
+            else CampaignStore(args.db).campaigns() or ["default"]
+        )
+        records = []
+        for name in names:
+            store = CampaignStore(args.db, campaign=name)
+            records.append(
+                {
+                    "campaign": name,
+                    "counts": store.counts(),
+                    "steps": store.step_statuses(),
+                    "seed": store.get_meta("seed"),
+                }
+            )
+        if args.json:
+            print(json.dumps(records, indent=2))
+            return 0
+        for rec in records:
+            counts = ", ".join(
+                f"{k}={v}" for k, v in rec["counts"].items()
+            )
+            steps = (
+                ", ".join(
+                    f"{k}:{v}" for k, v in rec["steps"].items()
+                )
+                or "-"
+            )
+            print(f"{rec['campaign']}: {counts}")
+            print(f"  steps: {steps}")
+        return 0
+
+    if args.command == "report":
+        store = CampaignStore(args.db, campaign=args.campaign)
+        report = store.get_meta("report")
+        if not report:
+            print(
+                f"no stored report for campaign {args.campaign!r} in "
+                f"{args.db!r} (run the campaign to completion first)",
+                file=sys.stderr,
+            )
+            return 1
+        print(report, end="")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

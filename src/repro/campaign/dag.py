@@ -1,0 +1,119 @@
+"""Resumable step-DAG runner over a :class:`CampaignStore`.
+
+The percell3-style shape: a campaign is a small DAG of named steps
+(``calibrate → sweep → validate → report``), each step's completion
+and serialized state living in the store's ``steps`` table.  Running
+an interrupted campaign again skips every ``done`` step (its state is
+loaded, not recomputed) and re-enters at the first step that is
+``pending``, ``running`` (crashed mid-step) or ``failed``.
+
+Step functions receive ``(store, upstream)`` where ``upstream`` maps
+every *dependency* step name to its serialized state, and return the
+state dict to persist (or ``None``).  A step must therefore be written
+to be *re-enterable*: the sweep step, for example, only drains rows
+that are still ``pending``, so re-running it after a crash never
+recomputes a ``done`` row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaign.store import CampaignStore
+
+__all__ = ["Step", "StepDAG"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One named step: ``run(store, upstream_states) -> state | None``."""
+
+    name: str
+    run: Callable[[CampaignStore, dict], dict | None]
+    after: tuple[str, ...] = ()
+
+
+class StepDAG:
+    """Topologically ordered, store-persisted step execution.
+
+    Validation happens at construction: duplicate step names, edges to
+    unknown steps and dependency cycles all raise ``ValueError`` before
+    anything runs.
+    """
+
+    def __init__(self, store: CampaignStore, steps: list[Step]):
+        names = [s.name for s in steps]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate step name(s): {', '.join(dupes)}")
+        by_name = {s.name: s for s in steps}
+        for step in steps:
+            unknown = [d for d in step.after if d not in by_name]
+            if unknown:
+                raise ValueError(
+                    f"step {step.name!r} depends on unknown step(s): "
+                    f"{', '.join(unknown)}"
+                )
+        self.store = store
+        self.steps = self._topo_sort(steps, by_name)
+
+    @staticmethod
+    def _topo_sort(steps: list[Step], by_name: dict) -> list[Step]:
+        """Stable topological order (declaration order breaks ties)."""
+        done: dict[str, bool] = {}
+        order: list[Step] = []
+
+        def visit(step: Step, stack: tuple[str, ...]) -> None:
+            if step.name in stack:
+                cycle = " -> ".join(stack + (step.name,))
+                raise ValueError(f"step dependency cycle: {cycle}")
+            if done.get(step.name):
+                return
+            for dep in step.after:
+                visit(by_name[dep], stack + (step.name,))
+            done[step.name] = True
+            order.append(step)
+
+        for step in steps:
+            visit(step, ())
+        return order
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, resume: bool = True) -> dict[str, dict | None]:
+        """Execute every step not already ``done``; returns name → state.
+
+        ``resume=False`` resets every step to pending first (a fresh
+        run over the same store; experiment *rows* are untouched — use
+        a fresh database for a from-scratch campaign).  A step raising
+        marks it ``failed`` in the store and re-raises, so the next
+        ``run`` resumes exactly there.
+        """
+        states: dict[str, dict | None] = {}
+        if not resume:
+            for step in self.steps:
+                self.store.start_step(step.name)  # running, cleared state
+        for step in self.steps:
+            record = self.store.step_record(step.name)
+            if resume and record is not None and record["status"] == "done":
+                states[step.name] = record["state"]
+                continue
+            upstream = {dep: states[dep] for dep in step.after}
+            self.store.start_step(step.name)
+            try:
+                state = step.run(self.store, upstream)
+            except Exception as exc:
+                self.store.fail_step(step.name, f"{type(exc).__name__}: {exc}")
+                raise
+            self.store.finish_step(step.name, state)
+            states[step.name] = state
+        return states
+
+    def status(self) -> dict[str, str]:
+        """step name → pending/running/done/failed, in execution order."""
+        recorded = self.store.step_statuses()
+        return {
+            step.name: recorded.get(step.name, "pending")
+            for step in self.steps
+        }

@@ -13,6 +13,7 @@ touching the entry point.
 from __future__ import annotations
 
 import importlib
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -26,6 +27,16 @@ __all__ = [
 ]
 
 
+# One lock for every lazy resolution: resolution happens at most once
+# per entry and imports already serialize on Python's import lock, so
+# per-entry locks would buy contention-free parallelism nobody needs
+# while complicating the dataclass.  What the lock must prevent is two
+# campaign workers (or a worker and the CLI) racing ``resolve`` on the
+# same entry: without it, both run the import, and a *failing* import
+# could leave one thread observing a half-initialized assignment.
+_RESOLVE_LOCK = threading.Lock()
+
+
 @dataclass
 class ExperimentEntry:
     """One registered driver."""
@@ -36,10 +47,18 @@ class ExperimentEntry:
     summary: str = ""
 
     def resolve(self) -> Callable:
-        if self.runner is None:
-            module_name, _, attr = self.spec.partition(":")
-            module = importlib.import_module(module_name)
-            self.runner = getattr(module, attr)
+        # fast path without the lock: a non-None runner is immutable
+        if self.runner is not None:
+            return self.runner
+        with _RESOLVE_LOCK:
+            if self.runner is None:
+                module_name, _, attr = self.spec.partition(":")
+                # resolve fully before caching: if the import or the
+                # attribute lookup raises, the entry stays unresolved
+                # and the *next* resolve retries instead of serving a
+                # broken cached runner forever
+                module = importlib.import_module(module_name)
+                self.runner = getattr(module, attr)
         return self.runner
 
 

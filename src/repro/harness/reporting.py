@@ -4,7 +4,30 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_series", "to_markdown"]
+__all__ = ["format_table", "format_series", "jsonable", "to_markdown"]
+
+
+def jsonable(value):
+    """Coerce result cells (numpy scalars included) to plain JSON types.
+
+    Shared by the ``--json`` CLI path and the campaign store, so a
+    driver result serializes identically whether it is printed or
+    persisted as a campaign row.
+    """
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    for caster in (int, float):
+        try:
+            cast = caster(value)
+        except (TypeError, ValueError):
+            continue
+        if cast == value:
+            return cast
+    return str(value)
 
 
 def _cell(value) -> str:

@@ -109,8 +109,10 @@ class Histogram:
         """count + the shared mean/p50/p95/p99/max summary."""
         with self._lock:
             values = list(self._values)
-        out = {"count": float(len(values)), "sum": float(sum(values))}
+        out = {"sum": float(sum(values))}
         out.update(summarize(values))
+        # both histogram backends expose count as a float sample
+        out["count"] = float(len(values))
         return out
 
 

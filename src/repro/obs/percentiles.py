@@ -41,17 +41,28 @@ def percentile(values: list[float], q: float) -> float:
 
 
 def summarize(values: list[float]) -> dict[str, float]:
-    """mean/p50/p95/p99/max summary of a latency series (empty-safe).
+    """count + mean/p50/p95/p99/max summary of a series (empty-safe).
 
     ``p50`` is exactly ``statistics.median`` (the interpolated quantile
     reduces to it); ``p95``/``p99`` are the interpolated percentiles
     rather than an index that rounds up to the maximum on short series.
     ``p99`` is the tail every serving SLO is written against — the
     serve-tier benchmark records its trajectory per offered-load step.
+
+    An empty series keeps the zero-filled shape (callers that render
+    tables rely on the keys existing) but says so via ``count``: a p99
+    of 0.0 from zero samples is *absence of evidence*, not a perfectly
+    fast tail, and consumers that feed control loops (the autoscaler,
+    the telemetry SLO aggregates) must check ``count`` instead of
+    trusting the zeros.
     """
     if not values:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": 0,
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
     return {
+        "count": len(values),
         "mean": statistics.fmean(values),
         "p50": float(statistics.median(values)),
         "p95": percentile(values, 0.95),

@@ -56,10 +56,19 @@ class AutoscalePolicy:
 
 @dataclass(frozen=True)
 class ShardSignals:
-    """One evaluation's view of one shard."""
+    """One evaluation's view of one shard.
+
+    ``wait_p99_s`` is ``None`` when the window held **zero** wait
+    observations — an idle shard has no tail, and feeding the decision
+    logic a fabricated 0.0 would read as "perfectly fast" rather than
+    "no evidence".  The hot test treats ``None`` as not-hot; the cold
+    test accepts it (no queued work is genuinely calm), so the
+    *decision* for an idle shard is unchanged while the signal stays
+    honest for telemetry and tests.
+    """
 
     occupancy: float  # queue fraction in [0, 1]
-    wait_p99_s: float  # tail queue wait over the recent window
+    wait_p99_s: float | None  # tail queue wait; None without samples
     active_workers: int
 
 
@@ -92,13 +101,21 @@ class Autoscaler:
         if signals.occupancy >= self.policy.occupancy_high:
             return True
         high = self.policy.wait_p99_high_s
-        return high is not None and signals.wait_p99_s >= high
+        return (
+            high is not None
+            and signals.wait_p99_s is not None
+            and signals.wait_p99_s >= high
+        )
 
     def _is_cold(self, signals: ShardSignals) -> bool:
         if signals.occupancy > self.policy.occupancy_low:
             return False
         high = self.policy.wait_p99_high_s
-        return high is None or signals.wait_p99_s < high
+        return (
+            high is None
+            or signals.wait_p99_s is None  # no waits at all: calm
+            or signals.wait_p99_s < high
+        )
 
     def evaluate(
         self, tick: int, signals: dict[str, ShardSignals]
@@ -163,7 +180,8 @@ class Autoscaler:
                 waits = hist.values()[-window:]
             out[name] = ShardSignals(
                 occupancy=occupancy,
-                wait_p99_s=percentile(waits, 0.99),
+                # zero observations → None, not a fabricated 0.0 p99
+                wait_p99_s=percentile(waits, 0.99) if waits else None,
                 active_workers=shard.n_active_workers,
             )
         return out

@@ -73,6 +73,23 @@ class TierTelemetry:
         }
 
     @staticmethod
+    def _honest_summary(summary: dict) -> dict:
+        """Latency summary with ``None`` stats when there are no samples.
+
+        The shared ``summarize``/histogram snapshots keep a zero-filled
+        shape for empty series (table renderers depend on the keys);
+        telemetry records feed SLO dashboards, where a 0.0 p99 from an
+        idle window would read as a perfectly fast tail.  Same
+        discipline as the SLO ratios: no denominator, no number.
+        """
+        if not summary or summary.get("count"):
+            return dict(summary)
+        return {
+            key: (0 if key in ("count", "sum") else None)
+            for key in summary
+        }
+
+    @staticmethod
     def _clamped_delta(
         current: dict, previous: dict
     ) -> tuple[dict, int]:
@@ -144,7 +161,9 @@ class TierTelemetry:
                 snap = self.gateway.metrics.snapshot()
                 gateway_block = {
                     "service_estimate_s": self.gateway.estimate.value,
-                    "latency_s": snap.get("gateway.latency_s", {}),
+                    "latency_s": self._honest_summary(
+                        snap.get("gateway.latency_s", {})
+                    ),
                 }
             # SLO view over this window: of everything that *resolved*,
             # how much resolved well, and how much met its deadline

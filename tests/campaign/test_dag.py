@@ -1,0 +1,124 @@
+"""StepDAG: topological order, persisted state, resume-at-first-failure."""
+
+import pytest
+
+from repro.campaign.dag import Step, StepDAG
+from repro.campaign.store import CampaignStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "dag.sqlite", campaign="dag")
+
+
+def _step(name, log, after=(), state=None, fail=False):
+    def run(store, upstream):
+        log.append((name, dict(upstream)))
+        if fail:
+            raise RuntimeError(f"{name} exploded")
+        return state
+
+    return Step(name, run, after=after)
+
+
+class TestValidation:
+    def test_duplicate_names_raise(self, store):
+        log: list = []
+        with pytest.raises(ValueError, match="duplicate"):
+            StepDAG(store, [_step("a", log), _step("a", log)])
+
+    def test_unknown_dependency_raises(self, store):
+        with pytest.raises(ValueError, match="unknown step"):
+            StepDAG(store, [_step("a", [], after=("ghost",))])
+
+    def test_cycle_raises(self, store):
+        log: list = []
+        with pytest.raises(ValueError, match="cycle"):
+            StepDAG(
+                store,
+                [
+                    _step("a", log, after=("b",)),
+                    _step("b", log, after=("a",)),
+                ],
+            )
+
+    def test_declaration_order_breaks_ties(self, store):
+        log: list = []
+        dag = StepDAG(
+            store,
+            [
+                _step("report", log, after=("sweep",)),
+                _step("sweep", log, after=("calibrate",)),
+                _step("calibrate", log),
+                _step("validate", log, after=("calibrate",)),
+            ],
+        )
+        assert [s.name for s in dag.steps] == [
+            "calibrate", "sweep", "report", "validate"
+        ]
+
+
+class TestExecution:
+    def test_upstream_states_flow_downstream(self, store):
+        log: list = []
+        dag = StepDAG(
+            store,
+            [
+                _step("calibrate", log, state={"gamma": 1.39}),
+                _step("sweep", log, after=("calibrate",), state={"rows": 3}),
+                _step("report", log, after=("calibrate", "sweep")),
+            ],
+        )
+        states = dag.run()
+        assert states["calibrate"] == {"gamma": 1.39}
+        assert log[-1] == (
+            "report", {"calibrate": {"gamma": 1.39}, "sweep": {"rows": 3}}
+        )
+        assert dag.status() == {
+            "calibrate": "done", "sweep": "done", "report": "done"
+        }
+
+    def test_resume_skips_done_steps_and_loads_state(self, store):
+        log: list = []
+        steps = [
+            _step("a", log, state={"n": 1}),
+            _step("b", log, after=("a",)),
+        ]
+        StepDAG(store, steps).run()
+        assert [name for name, _ in log] == ["a", "b"]
+        # a second run over the same store recomputes nothing, but the
+        # skipped step's state is still there for downstream consumers
+        states = StepDAG(store, steps).run()
+        assert [name for name, _ in log] == ["a", "b"]
+        assert states["a"] == {"n": 1}
+
+    def test_failure_marks_step_and_resume_reenters_there(self, store):
+        log: list = []
+        failing = [
+            _step("a", log, state={"n": 1}),
+            _step("b", log, after=("a",), fail=True),
+            _step("c", log, after=("b",)),
+        ]
+        with pytest.raises(RuntimeError, match="b exploded"):
+            StepDAG(store, failing).run()
+        assert store.step_statuses()["b"] == "failed"
+        assert store.step_record("b")["state"] == {
+            "error": "RuntimeError: b exploded"
+        }
+        # "fix" step b and resume: a is skipped, b and c run
+        fixed = [
+            _step("a", log, state={"n": 1}),
+            _step("b", log, after=("a",), state={"ok": True}),
+            _step("c", log, after=("b",)),
+        ]
+        StepDAG(store, fixed).run()
+        assert [name for name, _ in log] == ["a", "b", "b", "c"]
+        # the resumed b still saw a's persisted state
+        assert log[-2] == ("b", {"a": {"n": 1}})
+
+    def test_fresh_run_recomputes_everything(self, store):
+        log: list = []
+        steps = [_step("a", log), _step("b", log, after=("a",))]
+        StepDAG(store, steps).run()
+        StepDAG(store, steps).run(resume=False)
+        assert [name for name, _ in log] == ["a", "b", "a", "b"]

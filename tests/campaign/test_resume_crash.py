@@ -1,0 +1,170 @@
+"""Crash-resume acceptance: SIGKILL a worker mid-row, resume, nothing
+done is recomputed and the final report is byte-identical to an
+uninterrupted run.  Plus real cross-process claim contention."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign.campaign import CampaignPlan, run_campaign
+from repro.campaign.store import CampaignStore
+
+_PROBE = '''\
+"""Campaign row probe: logs every execution, optionally blocks."""
+
+import os
+import time
+
+
+def work(log, tag, block_unless=None, sleep_s=0.0):
+    with open(log, "a") as fh:
+        fh.write(f"{tag} pid={os.getpid()}\\n")
+        fh.flush()
+    if block_unless and not os.path.exists(block_unless):
+        time.sleep(120)  # the SIGKILL target; never finishes naturally
+    if sleep_s:
+        time.sleep(sleep_s)
+    return {"tag": tag}
+'''
+
+
+@pytest.fixture
+def probe_env(tmp_path):
+    """A worker-subprocess env whose PYTHONPATH can import the probe."""
+    (tmp_path / "campaign_probe.py").write_text(_PROBE)
+    src = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(tmp_path), os.path.abspath(src), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    sys.path.insert(0, str(tmp_path))  # in-process resume imports it too
+    yield env
+    sys.path.remove(str(tmp_path))
+    sys.modules.pop("campaign_probe", None)
+
+
+def _worker_proc(db, campaign, env):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "worker",
+         "--db", str(db), "--campaign", campaign],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for(predicate, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError("timed out waiting for worker progress")
+
+
+def _log_counts(log):
+    counts: dict = {}
+    if log.exists():
+        for line in log.read_text().splitlines():
+            tag = line.split()[0]
+            counts[tag] = counts.get(tag, 0) + 1
+    return counts
+
+
+def _plan(log, flag, n=4, blocking_row=2):
+    grid = []
+    for i in range(n):
+        kwargs = {"log": str(log), "tag": f"row{i}"}
+        if i == blocking_row:
+            kwargs["block_unless"] = str(flag)
+        grid.append({"spec": "campaign_probe:work", "kwargs": kwargs})
+    return CampaignPlan(name="crash", grid=tuple(grid), calibrate=None, seed=3)
+
+
+class TestSigkillResume:
+    def test_resume_recomputes_nothing_and_report_is_byte_identical(
+        self, tmp_path, probe_env
+    ):
+        log = tmp_path / "executions.log"
+        flag = tmp_path / "unblock.flag"
+        plan = _plan(log, flag)
+        db = tmp_path / "crash.sqlite"
+        run_campaign(db, plan=plan, seed_only=True)
+
+        # a real worker process claims row0, row1, then blocks on row2
+        proc = _worker_proc(db, "crash", probe_env)
+        try:
+            _wait_for(lambda: _log_counts(log).get("row2") == 1)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        store = CampaignStore(db, campaign="crash")
+        counts = store.counts()
+        assert counts["done"] == 2  # row0, row1 finished before the kill
+        assert counts["claimed"] == 1  # row2 orphaned mid-execution
+        assert counts["pending"] == 1  # row3 never started
+
+        # resume: the killed row unblocks, done rows must not re-run
+        flag.touch()
+        out = run_campaign(db, plan=plan, resume=True)
+        assert out["counts"] == {
+            "pending": 0, "claimed": 0, "done": 4, "failed": 0
+        }
+        executions = _log_counts(log)
+        assert executions["row0"] == 1  # done before the crash: untouched
+        assert executions["row1"] == 1
+        assert executions["row2"] == 2  # killed mid-row, so re-executed
+        assert executions["row3"] == 1
+        # the orphaned claim needed a second attempt; provenance shows it
+        (row2,) = [
+            r for r in store.rows() if r.payload["kwargs"]["tag"] == "row2"
+        ]
+        assert row2.attempts == 2
+
+        # byte-identical acceptance: the same plan run uninterrupted in
+        # a fresh database renders exactly the same report
+        clean_db = tmp_path / "clean.sqlite"
+        run_campaign(clean_db, plan=plan)
+        clean = CampaignStore(clean_db, campaign="crash")
+        assert store.get_meta("report") == clean.get_meta("report")
+
+
+class TestCrossProcessContention:
+    def test_two_workers_split_the_grid_without_double_execution(
+        self, tmp_path, probe_env
+    ):
+        log = tmp_path / "executions.log"
+        db = tmp_path / "contend.sqlite"
+        store = CampaignStore(db, campaign="contend")
+        n_rows = 8
+        store.add_rows(
+            [
+                {
+                    "spec": "campaign_probe:work",
+                    # a small sleep keeps both workers in the loop long
+                    # enough to genuinely interleave claims
+                    "kwargs": {
+                        "log": str(log), "tag": f"row{i}", "sleep_s": 0.05
+                    },
+                }
+                for i in range(n_rows)
+            ]
+        )
+        procs = [
+            _worker_proc(db, "contend", probe_env) for _ in range(2)
+        ]
+        assert [p.wait(timeout=60) for p in procs] == [0, 0]
+        assert store.counts()["done"] == n_rows
+        # the acceptance bar: every row executed exactly once
+        executions = _log_counts(log)
+        assert executions == {f"row{i}": 1 for i in range(n_rows)}
+        # worker ids are recorded per row and name real pids
+        workers = {r.worker_id for r in store.rows()}
+        assert all(w and ":" in w for w in workers)

@@ -1,0 +1,115 @@
+"""Lazy-spec resolution under failure and concurrency.
+
+Two campaign workers (or a worker and the CLI) can hit
+``ExperimentEntry.resolve`` on the same entry at the same time, and a
+lazy spec's import can fail transiently (a dependency that appears
+after a retry, a module briefly broken mid-deploy).  The contract
+pinned here: a failed resolve leaves the entry *unresolved* — never a
+cached broken runner — and concurrent resolvers all observe the same
+runner with the module imported exactly once.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.harness.registry import ExperimentEntry
+
+
+@pytest.fixture
+def flaky_module(tmp_path, monkeypatch):
+    """A module that raises ImportError until its flag file exists."""
+    name = "flaky_campaign_driver_mod"
+    flag = tmp_path / "dependency_ready"
+    (tmp_path / f"{name}.py").write_text(
+        "import os\n"
+        f"if not os.path.exists({str(flag)!r}):\n"
+        "    raise ImportError('dependency not ready yet')\n"
+        "def run():\n"
+        "    return 'ran'\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop(name, None)
+    yield name, flag
+    sys.modules.pop(name, None)
+
+
+class TestFailedResolve:
+    def test_import_failure_leaves_entry_unresolved(self, flaky_module):
+        name, flag = flaky_module
+        entry = ExperimentEntry(name="flaky", runner=None, spec=f"{name}:run")
+        with pytest.raises(ImportError, match="not ready"):
+            entry.resolve()
+        # the broken attempt cached nothing …
+        assert entry.runner is None
+        # … so once the dependency appears, the same entry resolves
+        flag.write_text("")
+        assert entry.resolve()() == "ran"
+        assert entry.runner is not None
+
+    def test_missing_attribute_leaves_entry_unresolved(self):
+        entry = ExperimentEntry(
+            name="bad-attr",
+            runner=None,
+            spec="repro.harness.experiments:no_such_driver",
+        )
+        with pytest.raises(AttributeError):
+            entry.resolve()
+        assert entry.runner is None
+
+    def test_repeated_failures_keep_raising(self, flaky_module):
+        name, _ = flaky_module
+        entry = ExperimentEntry(name="flaky", runner=None, spec=f"{name}:run")
+        for _ in range(3):
+            with pytest.raises(ImportError):
+                entry.resolve()
+            assert entry.runner is None
+
+
+class TestConcurrentResolve:
+    def test_racing_resolvers_share_one_import(self, tmp_path, monkeypatch):
+        name = "counted_campaign_driver_mod"
+        log = tmp_path / "imports.log"
+        (tmp_path / f"{name}.py").write_text(
+            "import time\n"
+            f"with open({str(log)!r}, 'a') as fh:\n"
+            "    fh.write('x')\n"
+            "time.sleep(0.02)\n"  # widen the race window
+            "def run():\n"
+            "    return 42\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        sys.modules.pop(name, None)
+        try:
+            entry = ExperimentEntry(
+                name="counted", runner=None, spec=f"{name}:run"
+            )
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            resolved: list = []
+            errors: list = []
+
+            def resolve() -> None:
+                barrier.wait()
+                try:
+                    resolved.append(entry.resolve())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=resolve) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            assert not errors
+            # every resolver observed the identical runner object …
+            assert len(resolved) == n_threads
+            assert len({id(fn) for fn in resolved}) == 1
+            assert resolved[0]() == 42
+            # … and the module body ran exactly once
+            assert log.read_text() == "x"
+        finally:
+            sys.modules.pop(name, None)

@@ -49,6 +49,7 @@ class TestSummarize:
     def test_keys_and_values(self):
         out = summarize([1.0, 2.0, 3.0, 4.0])
         assert out == {
+            "count": 4,
             "mean": 2.5,
             "p50": 2.5,
             "p95": pytest.approx(3.85),
@@ -57,7 +58,10 @@ class TestSummarize:
         }
 
     def test_empty_safe(self):
+        # zero-filled shape, but count says "no evidence": consumers
+        # feeding control loops must not read the 0.0 p99 as fast
         assert summarize([]) == {
+            "count": 0,
             "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
         }
 

@@ -122,3 +122,35 @@ class TestLiveTier:
         for sig in signals.values():
             assert 0.0 <= sig.occupancy <= 1.0
             assert sig.active_workers == 1
+
+
+class TestIdleSignalHonesty:
+    """Zero wait observations must surface as None, not a 0.0 p99."""
+
+    def test_read_signals_idle_shard_has_none_tail(self):
+        scaler = Autoscaler()
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            signals = scaler.read_signals(tier)
+        # nothing was ever enqueued: no evidence, not "perfectly fast"
+        assert signals["shard0"].wait_p99_s is None
+
+    def test_none_tail_never_reads_hot(self):
+        scaler = Autoscaler(
+            AutoscalePolicy(
+                breach_up=1, cooldown_ticks=0, wait_p99_high_s=0.0
+            )
+        )
+        sig = ShardSignals(occupancy=0.5, wait_p99_s=None, active_workers=2)
+        # a fabricated 0.0 would satisfy `wait >= high` for high=0.0
+        assert scaler.evaluate(0, {"s": sig})["s"] == 0
+
+    def test_none_tail_still_counts_as_calm_for_scale_down(self):
+        scaler = Autoscaler(
+            AutoscalePolicy(
+                breach_up=1, breach_down=1, cooldown_ticks=0,
+                wait_p99_high_s=0.01,
+            )
+        )
+        sig = ShardSignals(occupancy=0.0, wait_p99_s=None, active_workers=2)
+        # an idle shard with no queued work is genuinely cold
+        assert scaler.evaluate(0, {"s": sig})["s"] == -1

@@ -40,8 +40,9 @@ class TestServeTierDriver:
         assert len(steps) == 3
         for step in steps:
             assert set(step["latency_s"]) == {
-                "mean", "p50", "p95", "p99", "max"
+                "count", "mean", "p50", "p95", "p99", "max"
             }
+            assert step["latency_s"]["count"] > 0
             for key in (
                 "offered_jps", "completed", "shed_rate", "shed_throttled",
                 "shed_queue_full", "shed_deadline", "throughput_jps",

@@ -114,6 +114,30 @@ class TestPolling:
         assert record["gateway"] is None
         assert record["tenants"] == {}
 
+    def test_idle_gateway_latency_is_none_not_zero(self):
+        # an idle tier has no latency evidence: a fabricated 0.0 p99
+        # would read as a perfectly fast tail on an SLO dashboard
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            # materialize the histogram without observing anything,
+            # the state right after the gateway starts up
+            gateway.metrics.histogram("latency_s")
+            record = TierTelemetry(tier, gateway=gateway).poll(now=0.0)
+        latency = record["gateway"]["latency_s"]
+        assert latency["count"] == 0
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert latency[key] is None
+
+    def test_busy_gateway_latency_keeps_real_numbers(self):
+        with ShardedEngine(n_shards=1, n_workers=1) as tier:
+            gateway = AdmissionGateway(tier)
+            telemetry = TierTelemetry(tier, gateway=gateway)
+            _run(tier, gateway, 4)
+            record = telemetry.poll(now=1.0)
+        latency = record["gateway"]["latency_s"]
+        assert latency["count"] == 4.0
+        assert latency["p99"] is not None and latency["p99"] > 0.0
+
 
 class TestRetention:
     def test_history_is_bounded(self):

@@ -34,6 +34,36 @@ class TestToleranceRules:
         assert tolerance_for("fastpath.cycles") == 1e-6
 
 
+class TestRulePrecedence:
+    """First fnmatch wins: metric-shaped rules must beat block globs.
+
+    With ``pipeline.*`` ahead of ``*speedup*`` a pipeline speedup
+    metric would silently inherit the exact band instead of the
+    wall-clock one — the ordering bug DEFAULT_RULES documents.
+    """
+
+    def test_pipeline_speedup_gets_the_wide_band_not_exact(self):
+        assert tolerance_for("pipeline.speedup") == 0.75
+
+    def test_pipeline_timings_stay_skipped(self):
+        assert tolerance_for("pipeline.pipelined_ms") == "skip"
+        assert tolerance_for("pipeline.monolithic_ms") == "skip"
+
+    def test_pipeline_deterministic_leaves_stay_exact(self):
+        assert tolerance_for("pipeline.overlap_ratio") == 1e-6
+        assert tolerance_for("pipeline.stage_cycles.0") == 1e-6
+
+    def test_loo_error_band_beats_block_globs(self):
+        assert tolerance_for("pipeline.max_loo_relative_error") == 0.05
+        assert tolerance_for("surrogate.max_loo_relative_error") == 0.05
+
+    def test_custom_rules_respect_declaration_order(self):
+        rules = (("a.*", "skip"), ("*", 1e-6))
+        assert tolerance_for("a.b", rules) == "skip"
+        # same patterns reversed: the catch-all shadows the skip
+        assert tolerance_for("a.b", tuple(reversed(rules))) == 1e-6
+
+
 class TestCompareRecords:
     BASE = {
         "python": "3.11.1",
@@ -79,6 +109,46 @@ class TestCompareRecords:
             "serving.steps.0.completed": "missing",
             "serving.novel": "extra",
         }
+
+    def test_absent_key_detection_is_symmetric(self):
+        # the same key is "missing" one way and "extra" the other —
+        # both directions flag, under the identical subtree rule
+        base = {"fastpath": {"cycles": 10}}
+        fresh = {"fastpath": {}}
+        assert [
+            f["kind"] for f in compare_records(base, fresh)
+        ] == ["missing"]
+        assert [
+            f["kind"] for f in compare_records(fresh, base)
+        ] == ["extra"]
+
+    def test_all_skipped_subtree_vanishing_is_silent(self):
+        # a dict whose every leaf is exempt can vanish wholesale
+        # without a finding, in either direction
+        base = {
+            "fastpath": {
+                "timings": {"setup_ms": 1.0, "run_ms": 2.0},
+                "cycles": 10,
+            }
+        }
+        fresh = {"fastpath": {"cycles": 10}}
+        assert compare_records(base, fresh) == []
+        assert compare_records(fresh, base) == []
+
+    def test_mixed_subtree_vanishing_still_flags(self):
+        # one non-skipped leaf inside the vanished subtree is enough
+        base = {
+            "fastpath": {
+                "detail": {"setup_ms": 1.0, "cycles": 10},
+            }
+        }
+        fresh = {"fastpath": {}}
+        missing = compare_records(base, fresh)
+        assert [f["path"] for f in missing] == ["fastpath.detail"]
+        assert missing[0]["kind"] == "missing"
+        extra = compare_records(fresh, base)
+        assert [f["path"] for f in extra] == ["fastpath.detail"]
+        assert extra[0]["kind"] == "extra"
 
     def test_list_length_change_flags(self):
         fresh = json.loads(json.dumps(self.BASE))

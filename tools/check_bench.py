@@ -16,17 +16,23 @@ Usage::
     PYTHONPATH=src python tools/check_bench.py --suite serving
     PYTHONPATH=src python tools/check_bench.py --suite simulator --report-only
     PYTHONPATH=src python tools/check_bench.py --suite serving --fresh new.json
+    PYTHONPATH=src python tools/check_bench.py --suite serving --from-db bench.sqlite
 
-Without ``--fresh`` the suite is re-run in process (same code path as
-``record_bench.py``).  ``--report-only`` prints the full comparison but
-always exits 0 — the mode CI uses while a baseline is being reworked.
+Without ``--fresh``/``--from-db`` the suite is re-run in process (same
+code path as ``record_bench.py``).  ``--from-db`` renders the fresh
+record from a :mod:`repro.campaign` sqlite store instead (rows written
+by ``record_bench.py --to-db``), so the gate runs without repeating the
+measurement.  ``--report-only`` prints the full comparison but always
+exits 0 — the mode CI uses while a baseline is being reworked.
 
-Tolerance bands (first match on the dotted metric path wins)::
+Tolerance bands (first match on the dotted metric path wins, so the
+metric-shaped rules — skips, speedups, the LOO error — come before the
+block-scoped catch-alls)::
 
     python, machine, *wall_seconds, *_ms, *_per_s   skipped
     *speedup*                                       rel <= 0.75
     *max_loo_relative_error                         rel <= 0.05
-    * (everything else)                             rel <= 1e-6 / exact
+    pipeline.* and everything else                  rel <= 1e-6 / exact
 """
 
 from __future__ import annotations
@@ -49,13 +55,17 @@ DEFAULT_RULES: tuple = (
     ("*wall_seconds", "skip"),
     ("*_ms", "skip"),
     ("*_per_s", "skip"),
-    # the pipeline block is deterministic end to end (cycle counts and
-    # ratios of cycle counts), so it gets the exact band — except the
-    # raw timing, which the *_ms rule above already skips
-    ("pipeline.*", 1e-6),
+    # metric-shaped rules must precede block-scoped catch-alls:
+    # first match wins, so with `pipeline.*` ahead of `*speedup*` a
+    # future pipeline speedup metric would silently inherit the exact
+    # band instead of the wall-clock one (regression-tested in
+    # tests/tools/test_check_bench.py::TestRulePrecedence)
     ("*speedup*", 0.75),
     # deterministic given the data, but the lstsq fit runs through BLAS
     ("*max_loo_relative_error", 0.05),
+    # the rest of the pipeline block is deterministic end to end
+    # (cycle counts and ratios of cycle counts): the exact band
+    ("pipeline.*", 1e-6),
     ("*", 1e-6),
 )
 
@@ -72,6 +82,30 @@ def _is_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _subtree_flaggable(path: str, value, rules) -> bool:
+    """Would any leaf under ``path`` produce a finding if it drifted?
+
+    An absent key is only worth a ``missing``/``extra`` finding when
+    the vanished subtree contains at least one non-skipped leaf.  This
+    check recurses, so the verdict for a key is identical whether its
+    subtree disappears wholesale or leaf by leaf — and it is applied to
+    baseline-only and fresh-only keys alike.
+    """
+    if tolerance_for(path, rules) == "skip":
+        return False
+    if isinstance(value, dict):
+        return any(
+            _subtree_flaggable(f"{path}.{key}", child, rules)
+            for key, child in value.items()
+        )
+    if isinstance(value, list):
+        return any(
+            _subtree_flaggable(f"{path}.{i}", item, rules)
+            for i, item in enumerate(value)
+        )
+    return True
+
+
 def _numbers_match(baseline: float, fresh: float, tol: float) -> bool:
     if math.isnan(baseline) or math.isnan(fresh):
         return math.isnan(baseline) and math.isnan(fresh)
@@ -86,11 +120,23 @@ def compare_records(baseline, fresh, rules=DEFAULT_RULES) -> list:
 
     Findings carry ``path``, ``kind`` (``missing``/``extra``/
     ``mismatch``/``type``), the two values and the applied tolerance.
-    Skipped paths produce no findings; structure changes always do —
-    a metric vanishing from the record is drift worth reviewing even
-    when its values were exempt.
+    Skipped paths produce no findings; structure changes do — a metric
+    vanishing from the record is drift worth reviewing even when its
+    values were exempt.  Absent-key detection is symmetric: a
+    baseline-only key flags ``missing`` and a fresh-only key flags
+    ``extra`` under exactly the same rule — the finding is suppressed
+    only when *every* leaf of the vanished subtree is skipped (so
+    dropping ``{"wall_seconds": …}`` wholesale is as silent as
+    dropping its one skipped leaf).
     """
     findings: list = []
+
+    def flag_absent(child: str, kind: str, base, new) -> None:
+        value = base if kind == "missing" else new
+        if _subtree_flaggable(child, value, rules):
+            findings.append(
+                {"path": child, "kind": kind, "baseline": base, "fresh": new}
+            )
 
     def visit(path: str, base, new) -> None:
         rule = tolerance_for(path, rules) if path else None
@@ -100,20 +146,13 @@ def compare_records(baseline, fresh, rules=DEFAULT_RULES) -> list:
             for key in base:
                 child = f"{path}.{key}" if path else str(key)
                 if key not in new:
-                    if tolerance_for(child, rules) != "skip":
-                        findings.append(
-                            {"path": child, "kind": "missing",
-                             "baseline": base[key], "fresh": None}
-                        )
+                    flag_absent(child, "missing", base[key], None)
                 else:
                     visit(child, base[key], new[key])
             for key in new:
                 child = f"{path}.{key}" if path else str(key)
-                if key not in base and tolerance_for(child, rules) != "skip":
-                    findings.append(
-                        {"path": child, "kind": "extra",
-                         "baseline": None, "fresh": new[key]}
-                    )
+                if key not in base:
+                    flag_absent(child, "extra", None, new[key])
             return
         if isinstance(base, list) and isinstance(new, list):
             if len(base) != len(new):
@@ -149,28 +188,16 @@ def compare_records(baseline, fresh, rules=DEFAULT_RULES) -> list:
     return findings
 
 
-def _measure_suite(suite: str) -> dict:
-    """Re-run a suite in process, mirroring ``record_bench.main``."""
-    import platform
-
+def _record_bench():
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     import record_bench
 
-    record = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    if suite == "simulator":
-        record.update(
-            lane_throughput=record_bench.bench_lane_throughput(),
-            fastpath=record_bench.bench_fastpath(),
-            pruned_sweep=record_bench.bench_pruned_sweep(),
-            surrogate=record_bench.bench_surrogate_error(),
-            pipeline=record_bench.bench_pipeline(),
-        )
-    else:
-        record["serving"] = record_bench.bench_serving()
-    return record
+    return record_bench
+
+
+def _measure_suite(suite: str) -> dict:
+    """Re-run a suite in process, mirroring ``record_bench.main``."""
+    return _record_bench().measure_suite(suite)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,10 +215,18 @@ def main(argv: list[str] | None = None) -> int:
         help="pre-recorded fresh run to compare instead of re-measuring",
     )
     parser.add_argument(
+        "--from-db", metavar="FILE", default=None,
+        help="render the fresh record from a campaign sqlite store "
+        "(rows written by record_bench.py --to-db) instead of "
+        "re-measuring",
+    )
+    parser.add_argument(
         "--report-only", action="store_true",
         help="print the comparison but exit 0 regardless of drift",
     )
     args = parser.parse_args(argv)
+    if args.fresh is not None and args.from_db is not None:
+        parser.error("--fresh and --from-db are mutually exclusive")
     baseline_path = args.baseline or f"BENCH_{args.suite}.json"
     try:
         with open(baseline_path, encoding="utf-8") as fh:
@@ -207,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read fresh record {args.fresh!r}: {exc}",
                   file=sys.stderr)
+            return 2
+    elif args.from_db is not None:
+        try:
+            fresh = _record_bench().record_from_db(args.from_db, args.suite)
+        except (LookupError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
             return 2
     else:
         fresh = _measure_suite(args.suite)

@@ -25,6 +25,16 @@ seed (byte-reproducible); only the environment header and
 ``wall_seconds`` vary per machine::
 
     PYTHONPATH=src python tools/record_bench.py --suite serving
+
+``--to-db FILE`` additionally stores each measured block as a ``done``
+row in a :mod:`repro.campaign` sqlite store (campaign
+``bench-<suite>``, payload ``{"bench": <block>, "suite": <suite>}``),
+and ``--from-db FILE`` *renders* the record from those rows instead of
+re-measuring — the BENCH trajectory as a query, not a re-run::
+
+    PYTHONPATH=src python tools/record_bench.py --suite serving --to-db bench.sqlite
+    PYTHONPATH=src python tools/record_bench.py --suite serving --from-db bench.sqlite
+    PYTHONPATH=src python tools/check_bench.py  --suite serving --from-db bench.sqlite
 """
 
 from __future__ import annotations
@@ -233,6 +243,91 @@ def bench_serving() -> dict:
     }
 
 
+#: block name → measuring function, per suite.  The campaign store's
+#: ``{"bench": <block>}`` payloads resolve through this table too
+#: (:func:`repro.campaign.campaign.execute_payload`), so a campaign
+#: worker and ``--to-db`` record exactly the same numbers.
+SUITE_BENCHES: dict = {
+    "simulator": {
+        "lane_throughput": bench_lane_throughput,
+        "fastpath": bench_fastpath,
+        "pruned_sweep": bench_pruned_sweep,
+        "surrogate": bench_surrogate_error,
+        "pipeline": bench_pipeline,
+    },
+    "serving": {
+        "serving": bench_serving,
+    },
+}
+
+BENCHES: dict = {
+    name: fn
+    for blocks in SUITE_BENCHES.values()
+    for name, fn in blocks.items()
+}
+
+
+def _env_header() -> dict:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def measure_suite(suite: str) -> dict:
+    """Measure every block of a suite (env header included)."""
+    record = _env_header()
+    for name, fn in SUITE_BENCHES[suite].items():
+        record[name] = fn()
+    return record
+
+
+def store_record(db_path: str, suite: str, record: dict) -> None:
+    """Persist a measured record's blocks as done campaign rows.
+
+    One row per block in campaign ``bench-<suite>``; re-recording the
+    same block replaces the previous result (latest wins) and the env
+    header lands in the campaign's meta table.
+    """
+    from repro.campaign.store import CampaignStore
+
+    store = CampaignStore(db_path, campaign=f"bench-{suite}")
+    for name in SUITE_BENCHES[suite]:
+        store.record_done({"bench": name, "suite": suite}, record[name])
+    store.set_meta("python", record["python"])
+    store.set_meta("machine", record["machine"])
+
+
+def record_from_db(db_path: str, suite: str) -> dict:
+    """Render a suite record from campaign rows (no re-measurement).
+
+    Raises ``LookupError`` naming the missing blocks when the database
+    has not recorded the full suite yet.
+    """
+    from repro.campaign.store import CampaignStore
+
+    store = CampaignStore(db_path, campaign=f"bench-{suite}")
+    by_block = {
+        row.payload.get("bench"): row
+        for row in store.rows(status="done")
+        if row.payload.get("suite") == suite
+    }
+    missing = [n for n in SUITE_BENCHES[suite] if n not in by_block]
+    if missing:
+        raise LookupError(
+            f"campaign 'bench-{suite}' in {db_path!r} has no done rows "
+            f"for block(s): {', '.join(missing)} — record with "
+            f"`record_bench.py --suite {suite} --to-db {db_path}` first"
+        )
+    record = {
+        "python": store.get_meta("python") or platform.python_version(),
+        "machine": store.get_meta("machine") or platform.machine(),
+    }
+    for name in SUITE_BENCHES[suite]:
+        record[name] = by_block[name].result
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -243,28 +338,40 @@ def main(argv: list[str] | None = None) -> int:
         "--suite", choices=("simulator", "serving"), default="simulator",
         help="benchmark suite to record (default: %(default)s)",
     )
+    parser.add_argument(
+        "--to-db", metavar="FILE", default=None,
+        help="also store each measured block as a done campaign row",
+    )
+    parser.add_argument(
+        "--from-db", metavar="FILE", default=None,
+        help="render the record from campaign rows instead of measuring",
+    )
     args = parser.parse_args(argv)
-    if args.output is None:
-        args.output = f"BENCH_{args.suite}.json"
-    record = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    if args.suite == "simulator":
-        record.update(
-            lane_throughput=bench_lane_throughput(),
-            fastpath=bench_fastpath(),
-            pruned_sweep=bench_pruned_sweep(),
-            surrogate=bench_surrogate_error(),
-            pipeline=bench_pipeline(),
-        )
+    if args.from_db and args.to_db:
+        parser.error("--from-db and --to-db are mutually exclusive")
+    if args.from_db:
+        try:
+            record = record_from_db(args.from_db, args.suite)
+        except LookupError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     else:
-        record["serving"] = bench_serving()
-    with open(args.output, "w") as fh:
+        record = measure_suite(args.suite)
+        if args.to_db:
+            store_record(args.to_db, args.suite, record)
+            print(f"stored {args.suite} blocks -> {args.to_db}",
+                  file=sys.stderr)
+    # with --to-db the store is the destination: only write the JSON
+    # file when asked explicitly, so a CI `--to-db` run cannot clobber
+    # the committed BENCH_<suite>.json baseline it will be gated against
+    if args.output is None and args.to_db:
+        return 0
+    output = args.output or f"BENCH_{args.suite}.json"
+    with open(output, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
     print(json.dumps(record, indent=2))
-    print(f"\nwrote {args.output}", file=sys.stderr)
+    print(f"\nwrote {output}", file=sys.stderr)
     return 0
 
 
